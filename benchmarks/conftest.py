@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module reproduces one table/figure/claim of the paper;
+the printed tables (via ``repro.bench.emit``) bypass pytest capture so
+``pytest benchmarks/ --benchmark-only`` doubles as the report generator.
+
+``BENCH_SCALE`` (env var, default 1.0) scales simulated durations: set
+it below 1 for a faster smoke pass, above 1 for tighter statistics.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(autouse=True)
+def _route_emit_past_capture(capsys):
+    """pytest's default fd-level capture would swallow the report tables;
+    route repro.bench.reporting.emit through capsys.disabled() so they
+    reach the terminal (and any tee'd log) regardless of capture mode."""
+    from repro.bench import reporting
+
+    def passthrough(text):
+        with capsys.disabled():
+            print(text, flush=True)
+
+    reporting._EMIT_OVERRIDE = passthrough
+    yield
+    reporting._EMIT_OVERRIDE = None

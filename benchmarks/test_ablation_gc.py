@@ -1,0 +1,55 @@
+"""Bench E10 — ablation of NoFTL's design choices (DESIGN.md section 6).
+
+One recorded TPC-C trace replayed against NoFTL variants with one knob
+turned at a time: trim integration, hot/cold stream separation, copyback
+and the GC victim policy.  Quantifies *why* the paper's integration
+strategies pay.
+"""
+
+from repro.bench import ablate_noftl
+from repro.bench.reporting import emit, render_table
+
+_RESULTS = {}
+
+
+def _run(scale):
+    if "r" not in _RESULTS:
+        _RESULTS["r"] = ablate_noftl("tpcc", duration_us=6_000_000 * scale)
+    return _RESULTS["r"]
+
+
+def test_ablation(benchmark, scale):
+    result = benchmark.pedantic(lambda: _run(scale), rounds=1, iterations=1)
+
+    rows = []
+    for row in result.rows:
+        rows.append([row.variant, row.relocations, row.copybacks,
+                     row.erases, f"{row.write_amplification:.3f}",
+                     round(row.busy_us / 1e6, 2)])
+    emit(render_table(
+        "NoFTL ablation — TPC-C trace replay",
+        ["variant", "relocations", "copybacks", "erases",
+         "write amp.", "device busy (s)"],
+        rows,
+    ))
+
+    base = result.row("baseline")
+
+    # Hot/cold stream separation is the big GC lever.
+    no_streams = result.row("no-streams")
+    assert no_streams.relocations > base.relocations * 1.3
+
+    # Dropping trims loses the DBMS's deallocation knowledge: GC copies
+    # dead data (TPC-C deletes NEW_ORDER rows continuously).
+    no_trim = result.row("no-trim")
+    assert no_trim.relocations >= base.relocations
+
+    # Without copyback every relocation pays bus transfers: busier device
+    # at identical relocation semantics.
+    no_copyback = result.row("no-copyback")
+    assert no_copyback.copybacks == 0
+    assert no_copyback.busy_us > base.busy_us
+
+    # Cost-benefit remains in the same class as greedy on this trace.
+    cost_benefit = result.row("cost-benefit-gc")
+    assert cost_benefit.write_amplification < base.write_amplification * 2.5

@@ -1,0 +1,56 @@
+"""Bench E5 — DFTL vs pure page-level mapping (Section 3.1).
+
+Paper: "a performance slowdown of DFTL over pure page-level mapping
+(where the whole mapping table is cached) of up to 3.7x under TPC-C and
+-B benchmarks."  The slowdown is a function of how badly the mapping
+working set overruns the Cached Mapping Table, so the bench sweeps CMT
+capacity downwards.
+"""
+
+from repro.bench import dftl_slowdown
+from repro.bench.reporting import emit, render_table
+
+_RESULTS = {}
+
+CMT_SIZES = (16, 64, 256, 1024)
+
+
+def _run(scale):
+    if "r" not in _RESULTS:
+        _RESULTS["r"] = dftl_slowdown(
+            workloads=("tpcb",),
+            cmt_sizes=CMT_SIZES,
+            duration_us=1_200_000 * scale,
+        )
+    return _RESULTS["r"]
+
+
+def test_dftl_slowdown(benchmark, scale):
+    result = benchmark.pedantic(lambda: _run(scale), rounds=1, iterations=1)
+
+    rows = []
+    for point in result.points:
+        label = ("page-map (all cached)" if point.ftl == "pagemap"
+                 else f"DFTL cmt={point.cmt_entries}")
+        rows.append([label, point.tps, f"{point.cmt_hit_ratio:.3f}",
+                     point.map_reads, point.map_programs])
+    emit(render_table(
+        "DFTL vs pure page mapping — TPC-B",
+        ["configuration", "TPS", "CMT hit ratio",
+         "map reads", "map programs"],
+        rows,
+    ))
+    rows = [[f"cmt={entries}",
+             f"{result.slowdown('tpcb', entries):.2f}x"]
+            for entries in CMT_SIZES]
+    rows.append(["paper (worst case)", "3.70x"])
+    emit(render_table("Slowdown of DFTL vs page mapping",
+                      ["CMT capacity", "slowdown"], rows))
+
+    worst = result.worst_slowdown("tpcb")
+    assert worst > 1.25, f"DFTL slowdown too small: {worst:.2f}x"
+    # Monotone trend: shrinking the CMT never helps.
+    slowdowns = [result.slowdown("tpcb", entries) for entries in CMT_SIZES]
+    assert slowdowns[0] >= slowdowns[-1] * 0.95
+    # With a roomy CMT, DFTL approaches the ideal (paper's framing).
+    assert slowdowns[-1] < 1.5

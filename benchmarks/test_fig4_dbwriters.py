@@ -1,0 +1,59 @@
+"""Bench E2/E3 — Figure 4a/4b: TPC-C and TPC-B throughput with global vs
+die-wise (flash-aware) assignment of db-writers, over 1..32 NAND dies.
+
+Paper: die-wise assignment wins everywhere, by up to 1.5x (TPC-C) and
+1.43x (TPC-B); both curves rise with the die count.
+"""
+
+import pytest
+
+from repro.bench import fig4_dbwriters
+from repro.bench.reporting import emit, render_series
+
+DIES = (1, 2, 4, 8, 16, 32)
+
+_RESULTS = {}
+
+
+def _run(workload, scale):
+    if workload not in _RESULTS:
+        _RESULTS[workload] = fig4_dbwriters(
+            workload,
+            dies_list=DIES,
+            duration_us=1_000_000 * scale,
+        )
+    return _RESULTS[workload]
+
+
+@pytest.mark.parametrize("workload", ["tpcc", "tpcb"])
+def test_fig4_writer_assignment(benchmark, scale, workload):
+    result = benchmark.pedantic(lambda: _run(workload, scale),
+                                rounds=1, iterations=1)
+
+    emit(render_series(
+        f"Figure 4{'a' if workload == 'tpcc' else 'b'} — {workload.upper()} "
+        "throughput (TPS) vs NAND dies, writers = dies, 16 read terminals",
+        "dies",
+        list(DIES),
+        [
+            ("global assignment", result.tps_series("global")),
+            ("die-wise assignment", result.tps_series("region")),
+            ("die-wise / global",
+             [round(result.speedup_at(d), 2) for d in DIES]),
+        ],
+    ))
+
+    region = result.tps_series("region")
+    global_ = result.tps_series("global")
+    # Die-wise never loses (small tolerance for simulation noise).
+    for dies, r_tps, g_tps in zip(DIES, region, global_):
+        assert r_tps >= g_tps * 0.95, (
+            f"die-wise slower than global at {dies} dies: {r_tps} < {g_tps}"
+        )
+    # Both curves scale with parallelism end to end.
+    assert region[-1] > region[0] * 3
+    assert global_[-1] > global_[0] * 2
+    # The contention gap is material somewhere in the sweep (paper: up to
+    # 1.5x / 1.43x).
+    best_gap = max(result.speedup_at(d) for d in DIES)
+    assert best_gap > 1.25, f"assignment gap too small: {best_gap:.2f}x"

@@ -1,0 +1,85 @@
+"""Bench E4 — the headline claim: live TPC throughput of NoFTL vs
+conventional black-box flash storage.
+
+Paper: "a NoFTL performance improvement of 1.5x to 2.4x" over the
+FTL-based architectures; specifically 2.4x (TPC-C) and 2.25x (TPC-B)
+over FASTer.  TPC-E and TPC-H are the demo's other selectable kits and
+run here as secondary checks.
+"""
+
+import pytest
+
+from repro.bench import headline_throughput
+from repro.bench.reporting import emit, render_table
+
+_RESULTS = {}
+
+
+def _run(scale):
+    if "main" not in _RESULTS:
+        _RESULTS["main"] = headline_throughput(
+            workloads=("tpcc", "tpcb"),
+            duration_us=1_500_000 * scale,
+        )
+    return _RESULTS["main"]
+
+
+def test_headline_tpcc_tpcb(benchmark, scale):
+    result = benchmark.pedantic(lambda: _run(scale), rounds=1, iterations=1)
+
+    rows = []
+    for point in result.points:
+        rows.append([point.workload.upper(), point.architecture,
+                     point.tps, point.commits,
+                     point.p99_latency_us, point.erases])
+    emit(render_table(
+        "Headline — transaction throughput by storage architecture",
+        ["workload", "architecture", "TPS", "commits", "p99 (us)", "erases"],
+        rows,
+    ))
+    rows = []
+    for workload, paper in (("tpcc", 2.4), ("tpcb", 2.25)):
+        rows.append([workload.upper(), "FASTer",
+                     f"{result.speedup(workload, 'faster'):.2f}x",
+                     f"{paper:.2f}x"])
+        rows.append([workload.upper(), "DFTL",
+                     f"{result.speedup(workload, 'dftl'):.2f}x", "-"])
+    emit(render_table(
+        "NoFTL speedup over the black-box architectures",
+        ["workload", "over", "measured", "paper"],
+        rows,
+    ))
+
+    for workload in ("tpcc", "tpcb"):
+        vs_faster = result.speedup(workload, "faster")
+        vs_dftl = result.speedup(workload, "dftl")
+        # Paper's band: 1.5x..2.4x, we accept a generous envelope but
+        # insist NoFTL clearly wins against both FTLs.
+        assert vs_faster > 1.5, f"{workload}: vs FASTer only {vs_faster:.2f}x"
+        assert vs_dftl > 1.1, f"{workload}: vs DFTL only {vs_dftl:.2f}x"
+        assert vs_faster < 12.0, "implausible blowout: check the rig"
+
+
+def test_headline_read_mostly_kits(benchmark, scale):
+    """TPC-E (read-heavy OLTP) and TPC-H (scan DSS) still favour NoFTL,
+    more modestly — their write traffic is smaller."""
+    def run():
+        if "aux" not in _RESULTS:
+            _RESULTS["aux"] = headline_throughput(
+                workloads=("tpce", "tpch"),
+                architectures=("noftl", "faster"),
+                duration_us=1_000_000 * scale,
+            )
+        return _RESULTS["aux"]
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[p.workload.upper(), p.architecture, p.tps, p.commits]
+            for p in result.points]
+    emit(render_table("Read-mostly kits — TPS by architecture",
+                      ["workload", "architecture", "TPS", "commits"], rows))
+    for workload in ("tpce", "tpch"):
+        # Reads are translation-cheap on every architecture, so these
+        # kits show parity-to-modest gains (the paper quantifies only
+        # TPC-C/-B); NoFTL must simply never lose.
+        assert result.speedup(workload, "faster") >= 0.95
+        assert result.tps(workload, "noftl") > 0

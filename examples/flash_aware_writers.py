@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Flash-aware db-writer assignment (Section 3.2, Figure 4).
+
+Re-slices one drive over an increasing number of NAND dies and runs
+TPC-B with as many db-writers as dies, under both assignment policies:
+
+  * global  — every writer cleans any dirty page; writers collide on
+              chips and region locks;
+  * die-wise — each writer owns one physical region; zero chip
+              competition between writers.
+
+Run:  python examples/flash_aware_writers.py
+"""
+
+from repro.bench import fig4_dbwriters, render_series
+
+
+def main():
+    dies_list = (1, 2, 4, 8, 16)
+    print("sweeping die counts (a minute or two) ...")
+    result = fig4_dbwriters("tpcb", dies_list=dies_list,
+                            duration_us=800_000)
+
+    print(render_series(
+        "TPC-B throughput vs NAND dies (writers = dies, 16 read terminals)",
+        "dies",
+        list(dies_list),
+        [
+            ("global assignment",
+             [round(v) for v in result.tps_series("global")]),
+            ("die-wise assignment",
+             [round(v) for v in result.tps_series("region")]),
+            ("speedup",
+             [f"{result.speedup_at(d):.2f}x" for d in dies_list]),
+        ],
+    ))
+    print("Paper: die-wise assignment wins by up to 1.43x on TPC-B "
+          "(1.5x on TPC-C), because writers never compete for flash chips.")
+    print("Region-lock waits observed (global policy):",
+          [p.region_lock_waits for p in result.points
+           if p.policy == "global"])
+
+
+if __name__ == "__main__":
+    main()

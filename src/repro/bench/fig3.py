@@ -1,0 +1,161 @@
+"""Experiment E1 — Figure 3: GC overhead of FASTer vs NoFTL.
+
+Methodology exactly as the paper states under the table: *"Off-line
+trace-driven testing.  Traces were recorded on in-memory database
+running the benchmarks"* — we run each TPC kit against a RAM volume
+behind a trace recorder, then replay the identical page-I/O stream into
+
+* a black-box SSD with the FASTer FTL (legacy path: no trims), and
+* the NoFTL storage manager (page-level host mapping + trim + hints),
+
+and report absolute and relative COPYBACK (page relocations) and ERASE
+counts.  Paper's numbers: copybacks 1.97x-2.15x, erases 1.68x-1.82x in
+FASTer's disfavour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..db import Database
+from ..db.storage import RAMStorageAdapter
+from ..sim import Simulator
+from ..workloads import (
+    TPCB,
+    TPCC,
+    TPCE,
+    TraceRecordingAdapter,
+    replay_trace,
+    run_workload,
+)
+from .reporting import ratio
+from .rigs import (
+    DEMO_GEOMETRY,
+    build_sync_blockdev,
+    build_sync_noftl,
+    geometry_for_footprint,
+)
+
+__all__ = ["Fig3Row", "Fig3Result", "record_trace", "fig3_gc_overhead",
+           "WORKLOAD_LABELS"]
+
+WORKLOAD_LABELS = {
+    "tpcc": "TPC-C",
+    "tpcb": "TPC-B",
+    "tpce": "TPC-E",
+}
+
+
+@dataclass
+class Fig3Row:
+    workload: str
+    io_type: str          # 'COPYBACK' | 'ERASE'
+    faster_absolute: int
+    noftl_absolute: int
+
+    @property
+    def relative(self) -> float:
+        return ratio(self.faster_absolute, self.noftl_absolute)
+
+
+@dataclass
+class Fig3Result:
+    rows: List[Fig3Row]
+    traces: Dict[str, dict]
+    reports: Dict[str, dict]
+
+    def row(self, workload: str, io_type: str) -> Fig3Row:
+        for candidate in self.rows:
+            if candidate.workload == workload and candidate.io_type == io_type:
+                return candidate
+        raise KeyError((workload, io_type))
+
+
+def _make_workload(name: str, scale: float):
+    if name == "tpcc":
+        return TPCC(warehouses=max(1, int(2 * scale)),
+                    customers_per_district=40, items=150)
+    if name == "tpcb":
+        return TPCB(sf=max(1, int(4 * scale)), accounts_per_branch=700)
+    if name == "tpce":
+        return TPCE(customers=max(100, int(1000 * scale)), securities=80)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def record_trace(workload_name: str, duration_us: float = 3_000_000,
+                 num_terminals: int = 8, buffer_capacity: int = 96,
+                 scale: float = 1.0, seed: int = 11):
+    """Run a workload on an in-memory database and capture its I/O trace."""
+    sim = Simulator()
+    logical_pages = int(DEMO_GEOMETRY.total_pages * 0.85)
+    ram = RAMStorageAdapter(sim, logical_pages=logical_pages,
+                            latency_us=25.0)
+    adapter = TraceRecordingAdapter(ram)
+    db = Database(sim, adapter, page_bytes=DEMO_GEOMETRY.page_bytes,
+                  buffer_capacity=buffer_capacity, cpu_us_per_op=2.0)
+    db.start_writers(4, policy="global")
+    workload = _make_workload(workload_name, scale)
+    run_workload(sim, db, workload, duration_us=duration_us,
+                 num_terminals=num_terminals, rng=random.Random(seed))
+    sim.run_process(db.checkpoint())
+    return adapter.trace
+
+
+#: Replay-device sizing.  Calibrated so both targets run in GC steady
+#: state (12% over-provisioning — FASTer's log area must fit inside it —
+#: and ~82% logical space utilization), the regime where the paper's ~2x
+#: copyback factor appears.  Lower utilization exaggerates NoFTL's win,
+#: higher drowns it; see the E10 ablation for the sensitivity.
+REPLAY_UTILIZATION = 0.85
+REPLAY_OP_RATIO = 0.12
+REPLAY_DIES = 2
+
+
+def fig3_gc_overhead(workloads=("tpcc", "tpcb", "tpce"),
+                     duration_us: float = 10_000_000,
+                     scale: float = 1.0, seed: int = 11) -> Fig3Result:
+    """Record one trace per workload, replay against FASTer and NoFTL."""
+    from ..core import NoFTLConfig
+
+    rows: List[Fig3Row] = []
+    traces: Dict[str, dict] = {}
+    reports: Dict[str, dict] = {}
+    for name in workloads:
+        trace = record_trace(name, duration_us=duration_us, scale=scale,
+                             seed=seed)
+        traces[name] = trace.counts()
+
+        # Size the replay device to the trace footprint so both targets
+        # run at the same realistic space utilization (steady-state GC).
+        geometry = geometry_for_footprint(
+            trace.max_page() + 1,
+            utilization=REPLAY_UTILIZATION,
+            op_ratio=REPLAY_OP_RATIO,
+            dies=REPLAY_DIES,
+        )
+
+        faster_dev, faster_array = build_sync_blockdev(
+            "faster", geometry=geometry, seed=seed,
+            op_ratio=REPLAY_OP_RATIO,
+        )
+        faster_report = replay_trace(trace, faster_dev)
+
+        noftl_dev, noftl_array = build_sync_noftl(
+            geometry=geometry, seed=seed,
+            config=NoFTLConfig(op_ratio=REPLAY_OP_RATIO),
+        )
+        noftl_report = replay_trace(trace, noftl_dev)
+
+        reports[name] = {
+            "FASTer": faster_report.as_dict(),
+            "NoFTL": noftl_report.as_dict(),
+        }
+        rows.append(Fig3Row(name, "COPYBACK",
+                            faster_report.relocations,
+                            noftl_report.relocations))
+        rows.append(Fig3Row(name, "ERASE",
+                            faster_report.erases,
+                            noftl_report.erases))
+    return Fig3Result(rows, traces, reports)

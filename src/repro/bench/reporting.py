@@ -1,0 +1,75 @@
+"""Plain-text tables and series for benchmark output.
+
+``emit`` writes through ``sys.__stdout__`` so tables appear in the
+terminal even under pytest's output capture — the benchmark suite is as
+much a report generator as a test suite.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["emit", "render_table", "render_series", "ratio"]
+
+
+#: When set (by the benchmark suite's conftest), emit() routes through
+#: this callable instead — pytest's fd-level capture would otherwise
+#: swallow direct __stdout__ writes.
+_EMIT_OVERRIDE = None
+
+
+def emit(text: str) -> None:
+    """Print to the real stdout, bypassing pytest capture."""
+    if _EMIT_OVERRIDE is not None:
+        _EMIT_OVERRIDE(text)
+        return
+    sys.__stdout__.write(text + "\n")
+    sys.__stdout__.flush()
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence]) -> str:
+    """Fixed-width table with a title rule, ready for emit()."""
+    str_rows: List[List[str]] = [[_format_cell(cell) for cell in row]
+                                 for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(header.ljust(widths[index])
+                     for index, header in enumerate(headers))
+    rule = "-" * len(line)
+    out = [f"\n{title}", rule, line, rule]
+    for row in str_rows:
+        out.append("  ".join(cell.rjust(widths[index])
+                             for index, cell in enumerate(row)))
+    out.append(rule)
+    return "\n".join(out)
+
+
+def render_series(title: str, x_label: str, xs: Sequence,
+                  series: Sequence[tuple]) -> str:
+    """Figure-style output: one row per x, one column per named series."""
+    headers = [x_label] + [name for name, __ in series]
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [values[index] for __, values in series])
+    return render_table(title, headers, rows)
+
+
+def ratio(a: float, b: float) -> float:
+    """a / b, guarded; the paper's 'x-factor' columns."""
+    return a / b if b else float("inf")

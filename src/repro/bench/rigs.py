@@ -1,0 +1,307 @@
+"""Benchmark rigs: standard device + database assemblies.
+
+Every experiment builds its testbed from these factories so that the
+storage architectures differ in exactly one dimension — the thing being
+measured — while geometry, timing, buffer sizing and workload scale stay
+identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core import NoFTLConfig, NoFTLStorage, NoFTLStorageManager, SyncNoFTLStorage
+from ..db import Database, BlockDeviceAdapter, NoFTLStorageAdapter
+from ..device import BlockDevice, SyncBlockDevice
+from ..flash import (
+    FlashArray,
+    Geometry,
+    MLC_TIMING,
+    SimExecutor,
+    SimFlashDevice,
+    SyncExecutor,
+    SyncFlashDevice,
+    TimingSpec,
+)
+from ..ftl import DFTL, FASTer, PageMapFTL
+from ..sim import Simulator
+
+__all__ = [
+    "geometry_with_dies",
+    "DEMO_GEOMETRY",
+    "make_ftl",
+    "NoFTLRig",
+    "BlockDeviceRig",
+    "build_noftl_rig",
+    "build_blockdev_rig",
+    "build_sync_noftl",
+    "build_sync_blockdev",
+    "attach_database",
+]
+
+#: Total flash pages kept constant while the die count varies (the paper
+#: fixes a 10 GB drive and re-slices it over 1..32 dies in Figure 4).
+TOTAL_PAGES_BUDGET = 32768
+PAGES_PER_BLOCK = 32
+PLANES_PER_DIE = 2
+PAGE_BYTES = 2048
+
+
+def geometry_with_dies(dies: int, page_bytes: int = PAGE_BYTES) -> Geometry:
+    """A device with ``dies`` dies and a constant total capacity."""
+    if dies < 1:
+        raise ValueError("dies must be >= 1")
+    if dies <= 2:
+        channels = 1
+    elif dies <= 8:
+        channels = 2
+    else:
+        channels = 4
+    if dies % channels != 0:
+        channels = 1
+    dies_per_chip = dies // channels
+    blocks_per_plane = TOTAL_PAGES_BUDGET // (
+        dies * PLANES_PER_DIE * PAGES_PER_BLOCK
+    )
+    if blocks_per_plane < 6:
+        raise ValueError(f"too many dies ({dies}) for the capacity budget")
+    return Geometry(
+        channels=channels,
+        chips_per_channel=1,
+        dies_per_chip=dies_per_chip,
+        planes_per_die=PLANES_PER_DIE,
+        blocks_per_plane=blocks_per_plane,
+        pages_per_block=PAGES_PER_BLOCK,
+        page_bytes=page_bytes,
+    )
+
+
+DEMO_GEOMETRY = geometry_with_dies(8)
+
+
+def geometry_for_footprint(
+    footprint_pages: int,
+    utilization: float = 0.8,
+    op_ratio: float = 0.12,
+    dies: int = 8,
+    page_bytes: int = PAGE_BYTES,
+) -> Geometry:
+    """Size a device so ``footprint_pages`` fills ``utilization`` of the
+    exported logical space — the steady-state condition GC comparisons
+    need (an oversized device never garbage-collects)."""
+    if not 0.1 <= utilization <= 0.98:
+        raise ValueError("utilization must be in [0.1, 0.98]")
+    needed_logical = footprint_pages / utilization
+    needed_total = needed_logical / (1.0 - op_ratio)
+    per_die = PLANES_PER_DIE * PAGES_PER_BLOCK
+    blocks_per_plane = max(
+        6, -(-int(needed_total) // (dies * per_die))
+    )
+    if dies <= 2:
+        channels = 1
+    elif dies <= 8:
+        channels = 2
+    else:
+        channels = 4
+    if dies % channels != 0:
+        channels = 1
+    return Geometry(
+        channels=channels,
+        chips_per_channel=1,
+        dies_per_chip=dies // channels,
+        planes_per_die=PLANES_PER_DIE,
+        blocks_per_plane=blocks_per_plane,
+        pages_per_block=PAGES_PER_BLOCK,
+        page_bytes=page_bytes,
+    )
+
+
+def make_ftl(name: str, geometry: Geometry, op_ratio: float = 0.12,
+             rng: Optional[random.Random] = None, **kwargs):
+    """FTL factory by name: 'pagemap' | 'dftl' | 'faster'."""
+    if name == "pagemap":
+        return PageMapFTL(geometry, op_ratio=op_ratio, rng=rng, **kwargs)
+    if name == "dftl":
+        kwargs.setdefault("cmt_entries", 1024)
+        kwargs.setdefault("entries_per_translation_page", 256)
+        return DFTL(geometry, op_ratio=op_ratio, rng=rng, **kwargs)
+    if name == "faster":
+        kwargs.setdefault("log_fraction", 0.07)
+        # The SW-log path assumes serialized firmware; the DES rigs run
+        # a few FTL operations concurrently (controller slots), so the
+        # random-log configuration is used there.
+        kwargs.setdefault("use_sw_log", False)
+        return FASTer(geometry, op_ratio=op_ratio, rng=rng, **kwargs)
+    raise ValueError(f"unknown FTL {name!r}")
+
+
+@dataclass
+class NoFTLRig:
+    sim: Simulator
+    geometry: Geometry
+    array: FlashArray
+    manager: NoFTLStorageManager
+    storage: NoFTLStorage
+    adapter: NoFTLStorageAdapter
+    db: Optional[Database] = None
+
+
+@dataclass
+class BlockDeviceRig:
+    sim: Simulator
+    geometry: Geometry
+    array: FlashArray
+    ftl: object
+    device: BlockDevice
+    adapter: BlockDeviceAdapter
+    db: Optional[Database] = None
+
+
+def build_noftl_rig(
+    geometry: Geometry = DEMO_GEOMETRY,
+    timing: TimingSpec = MLC_TIMING,
+    config: Optional[NoFTLConfig] = None,
+    seed: int = 0,
+) -> NoFTLRig:
+    """Figure 1.c: DBMS on native flash through NoFTL."""
+    sim = Simulator()
+    array = FlashArray(geometry, timing, rng=random.Random(seed))
+    executor = SimExecutor(SimFlashDevice(sim, array))
+    manager = NoFTLStorageManager(
+        geometry,
+        config or NoFTLConfig(op_ratio=0.12),
+        factory_bad_blocks=array.factory_bad_blocks(),
+        rng=random.Random(seed + 1),
+    )
+    storage = NoFTLStorage(sim, manager, executor)
+    return NoFTLRig(sim, geometry, array, manager, storage,
+                    NoFTLStorageAdapter(storage))
+
+
+def build_blockdev_rig(
+    ftl_name: str,
+    geometry: Geometry = DEMO_GEOMETRY,
+    timing: TimingSpec = MLC_TIMING,
+    ncq_depth: int = 32,
+    seed: int = 0,
+    **ftl_kwargs,
+) -> BlockDeviceRig:
+    """Figure 1.a/b: DBMS on a black-box SSD with an on-device FTL."""
+    sim = Simulator()
+    array = FlashArray(geometry, timing, rng=random.Random(seed))
+    executor = SimExecutor(SimFlashDevice(sim, array))
+    ftl = make_ftl(ftl_name, geometry, rng=random.Random(seed + 1),
+                   bad_blocks=array.factory_bad_blocks(), **ftl_kwargs)
+    device = BlockDevice(sim, ftl, executor, ncq_depth=ncq_depth)
+    return BlockDeviceRig(sim, geometry, array, ftl, device,
+                          BlockDeviceAdapter(device))
+
+
+def build_sync_noftl(
+    geometry: Geometry = DEMO_GEOMETRY,
+    timing: TimingSpec = MLC_TIMING,
+    config: Optional[NoFTLConfig] = None,
+    seed: int = 0,
+    store_data: bool = False,
+):
+    """Synchronous NoFTL target for trace replay (Figure 3)."""
+    array = FlashArray(geometry, timing, store_data=store_data,
+                       rng=random.Random(seed))
+    executor = SyncExecutor(SyncFlashDevice(array))
+    manager = NoFTLStorageManager(
+        geometry, config or NoFTLConfig(op_ratio=0.12),
+        factory_bad_blocks=array.factory_bad_blocks(),
+        rng=random.Random(seed + 1),
+    )
+    return SyncNoFTLStorage(manager, executor), array
+
+
+def build_sync_blockdev(
+    ftl_name: str,
+    geometry: Geometry = DEMO_GEOMETRY,
+    timing: TimingSpec = MLC_TIMING,
+    seed: int = 0,
+    store_data: bool = False,
+    **ftl_kwargs,
+):
+    """Synchronous black-box SSD target for trace replay (Figure 3)."""
+    array = FlashArray(geometry, timing, store_data=store_data,
+                       rng=random.Random(seed))
+    executor = SyncExecutor(SyncFlashDevice(array))
+    ftl = make_ftl(ftl_name, geometry, rng=random.Random(seed + 1),
+                   bad_blocks=array.factory_bad_blocks(), **ftl_kwargs)
+    return SyncBlockDevice(ftl, executor), array
+
+
+def measure_workload_footprint(workload, page_bytes: int = PAGE_BYTES) -> int:
+    """Load a workload into a RAM-backed database and return how many
+    pages its initial population occupies — used to size flash devices to
+    a target utilization before the real run."""
+    sim = Simulator()
+    from ..db.storage import RAMStorageAdapter
+
+    ram = RAMStorageAdapter(sim, logical_pages=1_000_000, latency_us=1.0)
+    db = Database(sim, ram, page_bytes=page_bytes, buffer_capacity=4096,
+                  cpu_us_per_op=0.0, wal_flush_latency_us=1.0)
+    sim.run_process(workload.load(db))
+    return db.pages_allocated
+
+
+def sized_geometry(
+    footprint_pages: int,
+    dies: int,
+    utilization: float = 0.85,
+    op_ratio: float = 0.12,
+    pages_per_block: int = PAGES_PER_BLOCK,
+    headroom_pages: int = 0,
+    page_bytes: int = PAGE_BYTES,
+) -> Geometry:
+    """Like :func:`geometry_for_footprint` with an explicit die count and
+    page/block size — used by sweeps that re-slice one drive over many
+    dies (Figure 4) while keeping space utilization constant."""
+    needed_total = (footprint_pages + headroom_pages) / utilization \
+        / (1.0 - op_ratio)
+    per_die = PLANES_PER_DIE * pages_per_block
+    blocks_per_plane = max(6, -(-int(needed_total) // (dies * per_die)))
+    if dies <= 2:
+        channels = 1
+    elif dies <= 8:
+        channels = 2
+    else:
+        channels = 4
+    if dies % channels != 0:
+        channels = 1
+    return Geometry(
+        channels=channels,
+        chips_per_channel=1,
+        dies_per_chip=dies // channels,
+        planes_per_die=PLANES_PER_DIE,
+        blocks_per_plane=blocks_per_plane,
+        pages_per_block=pages_per_block,
+        page_bytes=page_bytes,
+    )
+
+
+def attach_database(
+    rig,
+    buffer_capacity: int = 160,
+    cpu_us_per_op: float = 3.0,
+    wal_flush_latency_us: float = 120.0,
+    foreground_flush: bool = True,
+    dirty_throttle_fraction=None,
+) -> Database:
+    """Mount the mini-DBMS on a rig's storage adapter."""
+    db = Database(
+        rig.sim,
+        rig.adapter,
+        page_bytes=rig.geometry.page_bytes,
+        buffer_capacity=buffer_capacity,
+        cpu_us_per_op=cpu_us_per_op,
+        wal_flush_latency_us=wal_flush_latency_us,
+        foreground_flush=foreground_flush,
+        dirty_throttle_fraction=dirty_throttle_fraction,
+    )
+    rig.db = db
+    return db

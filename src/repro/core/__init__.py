@@ -1,0 +1,29 @@
+"""NoFTL — the paper's primary contribution: flash management integrated
+into the DBMS, running against native flash.
+
+Public surface:
+
+* :class:`NoFTLConfig` — every tuning knob (regions, GC policy, copyback,
+  wear leveling, trim integration);
+* :class:`NoFTLStorageManager` — host-side translation + GC + WL + BBM;
+* :class:`NoFTLStorage` / :class:`SyncNoFTLStorage` — DES and synchronous
+  execution front-ends;
+* :class:`RegionManager` / :class:`Region` — die-wise physical regions;
+* :class:`BadBlockManager`.
+"""
+
+from .badblock import BadBlockManager
+from .config import NoFTLConfig
+from .manager import NoFTLStorageManager
+from .regions import Region, RegionManager
+from .storage import NoFTLStorage, SyncNoFTLStorage
+
+__all__ = [
+    "BadBlockManager",
+    "NoFTLConfig",
+    "NoFTLStorageManager",
+    "Region",
+    "RegionManager",
+    "NoFTLStorage",
+    "SyncNoFTLStorage",
+]

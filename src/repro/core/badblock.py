@@ -1,0 +1,54 @@
+"""NoFTL's bad-block manager.
+
+Factory-bad blocks are discovered once (on real NAND: by scanning the
+vendor bad-block markers in the OOB area) and excluded from every
+allocation pool; grown bad blocks are reported by the spaces as erases
+fail (:class:`~repro.flash.errors.BlockWornOut`).  The manager keeps the
+authoritative list and answers capacity questions — when too much spare
+capacity is gone, the administrator must act, so `health` surfaces it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from ..flash.geometry import Geometry
+
+__all__ = ["BadBlockManager"]
+
+
+class BadBlockManager:
+    """Tracks factory and grown bad blocks for one device."""
+
+    def __init__(self, geometry: Geometry, factory_bad: Iterable[int] = ()):
+        self.geometry = geometry
+        self.factory_bad: Set[int] = set(factory_bad)
+        for pbn in self.factory_bad:
+            geometry._check_block(pbn)
+        self.grown_bad: Set[int] = set()
+
+    @property
+    def all_bad(self) -> Set[int]:
+        return self.factory_bad | self.grown_bad
+
+    def is_bad(self, pbn: int) -> bool:
+        return pbn in self.factory_bad or pbn in self.grown_bad
+
+    def report_grown(self, pbn: int) -> None:
+        """Record a block that failed in service."""
+        self.geometry._check_block(pbn)
+        self.grown_bad.add(pbn)
+
+    def bad_in_die(self, die_index: int) -> List[int]:
+        blocks = self.geometry.blocks_of_die(die_index)
+        return [pbn for pbn in blocks if self.is_bad(pbn)]
+
+    def health(self) -> dict:
+        total = self.geometry.total_blocks
+        bad = len(self.all_bad)
+        return {
+            "total_blocks": total,
+            "factory_bad": len(self.factory_bad),
+            "grown_bad": len(self.grown_bad),
+            "bad_fraction": bad / total if total else 0.0,
+        }

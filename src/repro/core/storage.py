@@ -1,0 +1,110 @@
+"""Execution front-ends for the NoFTL storage manager.
+
+:class:`NoFTLStorage` is the DES-mode device the mini-DBMS mounts: reads
+are lock-free (translation is a host-RAM lookup), writes serialize per
+*region* — many host cores may manage different regions concurrently,
+unlike the single-ASIC controller of a black-box SSD.  There is no NCQ
+cap: native flash takes as many commands as dies can serve (Section 3.2).
+
+:class:`SyncNoFTLStorage` is the synchronous flavour used for trace
+replay (Figure 3) and tests.
+"""
+
+from __future__ import annotations
+
+from ..flash.executor import SimExecutor, SyncExecutor
+from ..sim import LatencyRecorder, Resource, Simulator
+from .manager import NoFTLStorageManager
+
+__all__ = ["NoFTLStorage", "SyncNoFTLStorage"]
+
+
+class NoFTLStorage:
+    """DES front-end: per-region write serialization, lock-free reads."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        manager: NoFTLStorageManager,
+        executor: SimExecutor,
+        interface_overhead_us: float = 2.0,
+    ):
+        self.sim = sim
+        self.manager = manager
+        self.executor = executor
+        self.interface_overhead_us = interface_overhead_us
+        self.region_locks = [
+            Resource(sim, capacity=1) for __ in range(manager.num_regions)
+        ]
+        self.read_latency = LatencyRecorder("noftl-read")
+        self.write_latency = LatencyRecorder("noftl-write")
+
+    @property
+    def logical_pages(self) -> int:
+        return self.manager.logical_pages
+
+    def region_of_lpn(self, lpn: int) -> int:
+        return self.manager.region_of_lpn(lpn)
+
+    def read(self, lpn: int):
+        start = self.sim.now
+        yield self.sim.timeout(self.interface_overhead_us)
+        data = yield from self.executor.run(self.manager.read(lpn))
+        self.read_latency.record(self.sim.now - start)
+        return data
+
+    def write(self, lpn: int, data=None, hint: str = "hot"):
+        start = self.sim.now
+        lock = self.region_locks[self.manager.region_of_lpn(lpn)]
+        yield lock.request()
+        try:
+            yield self.sim.timeout(self.interface_overhead_us)
+            yield from self.executor.run(self.manager.write(lpn, data, hint))
+        finally:
+            lock.release()
+        self.write_latency.record(self.sim.now - start)
+
+    def trim(self, lpn: int):
+        lock = self.region_locks[self.manager.region_of_lpn(lpn)]
+        yield lock.request()
+        try:
+            yield from self.executor.run(self.manager.trim(lpn))
+        finally:
+            lock.release()
+
+    def region_lock_contention(self) -> dict:
+        """Aggregate wait statistics — the paper's 'contention for physical
+        resources among db-writers' made measurable."""
+        return {
+            "total_waits": sum(lock.total_waits for lock in self.region_locks),
+            "total_wait_time_us": sum(
+                lock.total_wait_time for lock in self.region_locks
+            ),
+        }
+
+
+class SyncNoFTLStorage:
+    """Synchronous flavour (trace replay, tests)."""
+
+    def __init__(self, manager: NoFTLStorageManager, executor: SyncExecutor):
+        self.manager = manager
+        self.executor = executor
+
+    @property
+    def logical_pages(self) -> int:
+        return self.manager.logical_pages
+
+    def region_of_lpn(self, lpn: int) -> int:
+        return self.manager.region_of_lpn(lpn)
+
+    def read(self, lpn: int):
+        return self.executor.run(self.manager.read(lpn))
+
+    def write(self, lpn: int, data=None, hint: str = "hot") -> None:
+        self.executor.run(self.manager.write(lpn, data, hint))
+
+    def trim(self, lpn: int) -> None:
+        self.executor.run(self.manager.trim(lpn))
+
+    def recover(self) -> int:
+        return self.executor.run(self.manager.recover())

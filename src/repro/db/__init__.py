@@ -1,0 +1,52 @@
+"""A Shore-MT-shaped mini storage engine: slotted pages, heaps, B+-trees,
+buffer pool with WAL discipline, 2PL locking, transactions and background
+db-writers with global vs flash-aware (region) assignment."""
+
+from .btree import BTreeIndex, DuplicateKeyError
+from .buffer import BufferPool, Frame
+from .database import Database
+from .flusher import DbWriterPool
+from .heap import RID, HeapFile, pack_rid, unpack_rid
+from .latches import RWLock
+from .locks import LockManager, LockMode, TxnAborted
+from .page import BTreeNodePage, PageFormatError, SlottedPage, decode_page
+from .recovery import RecoveryReport, recover_database
+from .storage import (
+    BlockDeviceAdapter,
+    NoFTLStorageAdapter,
+    RAMStorageAdapter,
+    StorageAdapter,
+)
+from .txn import Transaction, TransactionManager
+from .wal import WALog, WALRecord
+
+__all__ = [
+    "BTreeIndex",
+    "DuplicateKeyError",
+    "BufferPool",
+    "Frame",
+    "Database",
+    "DbWriterPool",
+    "RID",
+    "HeapFile",
+    "pack_rid",
+    "unpack_rid",
+    "RWLock",
+    "LockManager",
+    "LockMode",
+    "TxnAborted",
+    "BTreeNodePage",
+    "PageFormatError",
+    "SlottedPage",
+    "decode_page",
+    "RecoveryReport",
+    "recover_database",
+    "BlockDeviceAdapter",
+    "NoFTLStorageAdapter",
+    "RAMStorageAdapter",
+    "StorageAdapter",
+    "Transaction",
+    "TransactionManager",
+    "WALog",
+    "WALRecord",
+]

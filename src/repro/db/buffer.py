@@ -1,0 +1,323 @@
+"""Buffer pool: page cache with pinning, LRU eviction and WAL discipline.
+
+The mechanics that matter for the paper's experiments:
+
+* a transaction that misses and finds only **dirty** eviction victims
+  must write one back in the foreground — that stall is exactly what
+  background db-writers exist to prevent, and what makes their
+  throughput (and their flash-contention behaviour, Figure 4) visible in
+  transactions per second;
+* every page write-back observes the WAL rule: log flushed up to the
+  page's last LSN before the page goes to storage;
+* each first-dirtying of a page is announced to a listener — the hook
+  the db-writer framework (global vs die-wise assignment) plugs into;
+* flushes snapshot the page bytes *before* any waiting, so a concurrent
+  mutator can never leak an unlogged change to storage.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Optional
+
+from ..sim import Event, Simulator
+from .page import decode_page
+from .storage import StorageAdapter
+from .wal import WALog
+
+__all__ = ["Frame", "BufferPool"]
+
+
+class Frame:
+    """One resident page."""
+
+    __slots__ = ("page_id", "page", "pin_count", "dirty", "dirty_seq",
+                 "hint", "flush_event", "evicting")
+
+    def __init__(self, page_id: int, page, hint: str = "hot"):
+        self.page_id = page_id
+        self.page = page
+        self.pin_count = 0
+        self.dirty = False
+        self.dirty_seq = 0
+        self.hint = hint
+        self.flush_event: Optional[Event] = None
+        self.evicting = False
+
+
+class BufferPool:
+    """Fixed-capacity page cache over a storage adapter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        storage: StorageAdapter,
+        wal: WALog,
+        capacity: int,
+        foreground_flush: bool = True,
+        clean_wait_timeout_us: float = 10_000.0,
+        dirty_throttle_fraction: Optional[float] = None,
+    ):
+        if capacity < 4:
+            raise ValueError("buffer pool needs at least 4 frames")
+        self.sim = sim
+        self.storage = storage
+        self.wal = wal
+        self.capacity = capacity
+        #: True: a transaction that evicts a dirty victim writes it back
+        #: itself.  False (Shore-MT style, used by the Figure 4 bench):
+        #: it waits for a background db-writer to produce a clean frame,
+        #: falling back to an inline flush after ``clean_wait_timeout_us``
+        #: so a stalled writer pool can never wedge the system.
+        self.foreground_flush = foreground_flush
+        self.clean_wait_timeout_us = clean_wait_timeout_us
+        #: When set (e.g. 0.5), mutators calling :meth:`throttle` wait
+        #: while more than this fraction of frames is dirty and background
+        #: writers are active — the checkpoint/log-recycling back-pressure
+        #: that couples transaction throughput to db-writer throughput
+        #: (what the paper's Figure 4 measures).
+        if dirty_throttle_fraction is not None \
+                and not 0.05 <= dirty_throttle_fraction <= 1.0:
+            raise ValueError("dirty_throttle_fraction must be in [0.05, 1]")
+        self.dirty_throttle_fraction = dirty_throttle_fraction
+        self.throttle_waits = 0
+        self.frames: "OrderedDict[int, Frame]" = OrderedDict()
+        self._loading: Dict[int, Event] = {}
+        self._reserved = 0
+        self._unpin_waiters: Deque[Event] = deque()
+        self._clean_waiters: Deque[Event] = deque()
+        self._dirty_listener: Optional[Callable[[int, Frame], None]] = None
+        #: Set by DbWriterPool while background cleaners run; gates the
+        #: wait-for-clean-frame eviction path.
+        self.background_writers_active = False
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_eviction_stalls = 0
+        self.clean_waits = 0
+        self.flushes = 0
+
+    # -- configuration ------------------------------------------------------------
+
+    def set_dirty_listener(self, listener: Callable[[int, Frame], None]) -> None:
+        """``listener(page_id, frame)`` fires when a clean page turns dirty
+        (db-writer framework hook)."""
+        self._dirty_listener = listener
+
+    # -- pin / unpin ----------------------------------------------------------------
+
+    def fetch(self, page_id: int, hint: str = "hot"):
+        """Generator: pin the page, loading it from storage on a miss."""
+        while True:
+            frame = self.frames.get(page_id)
+            if frame is not None and not frame.evicting:
+                frame.pin_count += 1
+                self.frames.move_to_end(page_id)
+                self.hits += 1
+                return frame
+            loading = self._loading.get(page_id)
+            if loading is not None:
+                yield loading
+                continue
+            done = self.sim.event()
+            self._loading[page_id] = done
+            try:
+                self.misses += 1
+                yield from self._make_room()
+                self._reserved += 1
+                try:
+                    raw = yield from self.storage.read(page_id)
+                finally:
+                    self._reserved -= 1
+                if raw is None:
+                    raise KeyError(f"page {page_id} does not exist on storage")
+                frame = Frame(page_id, decode_page(raw), hint)
+                frame.pin_count = 1
+                self.frames[page_id] = frame
+            finally:
+                del self._loading[page_id]
+                done.succeed()
+            return frame
+
+    def new_page(self, page_id: int, page, hint: str = "hot"):
+        """Generator: install a freshly allocated page (pinned, dirty)."""
+        if page_id in self.frames or page_id in self._loading:
+            raise ValueError(f"page {page_id} already resident")
+        yield from self._make_room()
+        frame = Frame(page_id, page, hint)
+        frame.pin_count = 1
+        self.frames[page_id] = frame
+        self.mark_dirty(page_id)
+        return frame
+
+    def purge_page(self, page_id: int):
+        """Generator: remove a page from the pool for good (deallocation).
+
+        Waits out any in-flight load of the page (a stale reader racing
+        the free-space manager) so no ghost frame can reappear after the
+        page id is recycled.  The frame must be unpinned.
+        """
+        while page_id in self._loading:
+            yield self._loading[page_id]
+        frame = self.frames.get(page_id)
+        if frame is not None:
+            if frame.pin_count > 0:
+                raise RuntimeError(f"purging pinned page {page_id}")
+            if frame.flush_event is not None:
+                yield frame.flush_event
+            frame.dirty = False
+            self.frames.pop(page_id, None)
+
+    def unpin(self, page_id: int) -> None:
+        frame = self.frames.get(page_id)
+        if frame is None or frame.pin_count <= 0:
+            raise RuntimeError(f"unpin of page {page_id} that is not pinned")
+        frame.pin_count -= 1
+        if frame.pin_count == 0 and self._unpin_waiters:
+            self._unpin_waiters.popleft().succeed()
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Caller holds a pin and has just mutated (and WAL-logged) the page."""
+        frame = self.frames[page_id]
+        was_clean = not frame.dirty
+        frame.dirty = True
+        frame.dirty_seq += 1
+        if was_clean and self._dirty_listener is not None:
+            self._dirty_listener(page_id, frame)
+
+    def throttle(self):
+        """Generator: back-pressure for mutators.
+
+        No-op unless ``dirty_throttle_fraction`` is set, background
+        writers are running and the dirty ratio is above the limit; then
+        the caller waits for writers to clean frames (bounded by the
+        clean-wait timeout so a dead writer pool cannot wedge commits).
+        """
+        if self.dirty_throttle_fraction is None \
+                or not self.background_writers_active:
+            return
+        limit = self.dirty_throttle_fraction * self.capacity
+        while self.dirty_count > limit:
+            self.throttle_waits += 1
+            cleaned = self.sim.event()
+            self._clean_waiters.append(cleaned)
+            deadline = self.sim.timeout(self.clean_wait_timeout_us)
+            fired = yield self.sim.any_of([cleaned, deadline])
+            if cleaned not in fired:
+                try:
+                    self._clean_waiters.remove(cleaned)
+                except ValueError:
+                    pass
+                return  # timed out: proceed rather than wedge
+
+    # -- flushing ----------------------------------------------------------------------
+
+    def flush_page(self, page_id: int):
+        """Generator: write one page back (no-op when clean or absent)."""
+        frame = self.frames.get(page_id)
+        if frame is None:
+            return False
+        flushed = yield from self._flush_frame(frame)
+        return flushed
+
+    def flush_all(self):
+        """Generator: checkpoint — write back every dirty resident page."""
+        for page_id in list(self.frames):
+            frame = self.frames.get(page_id)
+            if frame is not None and frame.dirty:
+                yield from self._flush_frame(frame)
+
+    def _flush_frame(self, frame: Frame):
+        if not frame.dirty:
+            return False
+        if frame.flush_event is not None:
+            yield frame.flush_event  # someone else is flushing: join them
+            return False
+        done = self.sim.event()
+        frame.flush_event = done
+        try:
+            # Snapshot *before* yielding: a concurrent mutator cannot leak
+            # unlogged bytes into this write-back.
+            raw = frame.page.to_bytes()
+            lsn = frame.page.lsn
+            seq = frame.dirty_seq
+            yield from self.wal.flush_to(lsn)
+            yield from self.storage.write(frame.page_id, raw, frame.hint)
+            if frame.dirty_seq == seq:
+                frame.dirty = False
+                while self._clean_waiters:
+                    self._clean_waiters.popleft().succeed()
+            elif self._dirty_listener is not None:
+                # Re-dirtied mid-flush: make sure a writer comes back for
+                # it (the original enqueue has been consumed).
+                self._dirty_listener(frame.page_id, frame)
+            self.flushes += 1
+        finally:
+            frame.flush_event = None
+            done.succeed()
+        return True
+
+    # -- eviction ------------------------------------------------------------------------
+
+    def _make_room(self):
+        while len(self.frames) + self._reserved >= self.capacity:
+            victim = self._pick_victim()
+            if victim is None:
+                yield from self._wait_for_unpin()
+                continue
+            if victim.dirty:
+                if not self.foreground_flush and self.background_writers_active:
+                    # Shore-MT style: wait for the db-writers to clean a
+                    # frame; bounded by a timeout fallback.
+                    self.clean_waits += 1
+                    cleaned = self.sim.event()
+                    self._clean_waiters.append(cleaned)
+                    deadline = self.sim.timeout(self.clean_wait_timeout_us)
+                    fired = yield self.sim.any_of([cleaned, deadline])
+                    if cleaned in fired:
+                        continue  # a frame went clean: re-pick
+                    try:
+                        self._clean_waiters.remove(cleaned)
+                    except ValueError:
+                        pass
+                # Foreground write-back: the stall db-writers should prevent.
+                self.dirty_eviction_stalls += 1
+                yield from self._flush_frame(victim)
+                continue  # re-pick: state may have changed while flushing
+            victim.evicting = True
+            del self.frames[victim.page_id]
+            self.evictions += 1
+
+    def _pick_victim(self) -> Optional[Frame]:
+        """Oldest unpinned frame (LRU order), dirty or clean."""
+        for frame in self.frames.values():
+            if frame.pin_count == 0 and not frame.evicting \
+                    and frame.flush_event is None:
+                return frame
+        return None
+
+    def _wait_for_unpin(self):
+        event = self.sim.event()
+        self._unpin_waiters.append(event)
+        yield event
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def dirty_count(self) -> int:
+        return sum(1 for frame in self.frames.values() if frame.dirty)
+
+    def snapshot(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "resident": len(self.frames),
+            "dirty": self.dirty_count,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hits / (self.hits + self.misses)
+            if (self.hits + self.misses) else 0.0,
+            "evictions": self.evictions,
+            "dirty_eviction_stalls": self.dirty_eviction_stalls,
+            "flushes": self.flushes,
+        }

@@ -1,0 +1,145 @@
+"""Two-phase-locking lock manager with wait timeouts.
+
+Record-grain shared/exclusive locks keyed by arbitrary hashables
+(``(table, rid)`` by convention).  Deadlocks resolve by timeout: a waiter
+that exceeds its budget aborts its transaction (:class:`TxnAborted`),
+which the workload drivers retry — the behaviour Shore-MT-style engines
+exhibit under lock thrashing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Set, Tuple
+
+from ..sim import AnyOf, Simulator
+
+__all__ = ["LockMode", "TxnAborted", "LockManager"]
+
+
+class LockMode:
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class TxnAborted(Exception):
+    """The transaction must roll back (lock timeout / explicit abort)."""
+
+
+class _LockRecord:
+    __slots__ = ("holders", "queue")
+
+    def __init__(self):
+        self.holders: Dict[int, str] = {}   # txn_id -> mode
+        self.queue: Deque[Tuple] = deque()  # (event, txn_id, mode)
+
+
+class LockManager:
+    """S/X locks, FIFO granting, timeout-based deadlock resolution."""
+
+    def __init__(self, sim: Simulator, timeout_us: float = 200_000.0):
+        if timeout_us <= 0:
+            raise ValueError("timeout_us must be positive")
+        self.sim = sim
+        self.timeout_us = timeout_us
+        self._locks: Dict[object, _LockRecord] = {}
+        self._held: Dict[int, Set[object]] = {}
+        self.total_acquisitions = 0
+        self.total_waits = 0
+        self.total_timeouts = 0
+
+    # -- acquisition ---------------------------------------------------------------
+
+    def acquire(self, txn_id: int, key, mode: str):
+        """Generator: block until granted; raises TxnAborted on timeout."""
+        if mode not in (LockMode.SHARED, LockMode.EXCLUSIVE):
+            raise ValueError(f"bad lock mode {mode!r}")
+        self.total_acquisitions += 1
+        record = self._locks.setdefault(key, _LockRecord())
+        held = record.holders.get(txn_id)
+        if held is not None:
+            if held == LockMode.EXCLUSIVE or mode == LockMode.SHARED:
+                return  # already strong enough
+            if len(record.holders) == 1:
+                record.holders[txn_id] = LockMode.EXCLUSIVE  # upgrade
+                return
+            # Upgrade with other readers present: queue like a fresh X.
+        if self._grantable(record, txn_id, mode):
+            record.holders[txn_id] = mode
+            self._held.setdefault(txn_id, set()).add(key)
+            return
+        self.total_waits += 1
+        event = self.sim.event()
+        entry = (event, txn_id, mode)
+        record.queue.append(entry)
+        deadline = self.sim.timeout(self.timeout_us)
+        fired = yield AnyOf(self.sim, [event, deadline])
+        if event not in fired:
+            try:
+                record.queue.remove(entry)
+            except ValueError:
+                pass
+            else:
+                self.total_timeouts += 1
+                raise TxnAborted(f"lock timeout on {key!r}")
+            # Removed already -> the grant raced the timeout: we hold it.
+        self._held.setdefault(txn_id, set()).add(key)
+
+    def _grantable(self, record: _LockRecord, txn_id: int, mode: str) -> bool:
+        if record.queue:
+            return False  # FIFO fairness: no barging
+        others = {tid: held_mode for tid, held_mode in record.holders.items()
+                  if tid != txn_id}
+        if mode == LockMode.SHARED:
+            return all(held_mode == LockMode.SHARED
+                       for held_mode in others.values())
+        return not others
+
+    # -- release ---------------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> None:
+        """End of transaction: drop every lock and wake compatible waiters.
+
+        Keys are released in sorted order so wake-up order (and therefore
+        the whole simulation) is independent of PYTHONHASHSEED.
+        """
+        for key in sorted(self._held.pop(txn_id, set()), key=repr):
+            record = self._locks.get(key)
+            if record is None:
+                continue
+            record.holders.pop(txn_id, None)
+            self._wake(record)
+            if not record.holders and not record.queue:
+                del self._locks[key]
+
+    def _wake(self, record: _LockRecord) -> None:
+        while record.queue:
+            event, txn_id, mode = record.queue[0]
+            others = {tid for tid in record.holders if tid != txn_id}
+            if mode == LockMode.EXCLUSIVE:
+                if others:
+                    break  # an upgrade waits like a fresh X request
+                record.queue.popleft()
+                record.holders[txn_id] = LockMode.EXCLUSIVE
+                event.succeed()
+                break
+            if any(record.holders[tid] == LockMode.EXCLUSIVE
+                   for tid in others):
+                break
+            record.queue.popleft()
+            record.holders[txn_id] = LockMode.SHARED
+            event.succeed()
+            # keep draining contiguous readers
+
+    # -- introspection ------------------------------------------------------------------
+
+    def held_by(self, txn_id: int) -> Set[object]:
+        return set(self._held.get(txn_id, set()))
+
+    def snapshot(self) -> dict:
+        return {
+            "acquisitions": self.total_acquisitions,
+            "waits": self.total_waits,
+            "timeouts": self.total_timeouts,
+            "active_keys": len(self._locks),
+        }

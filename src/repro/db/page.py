@@ -1,0 +1,280 @@
+"""Database pages: slotted record pages and B+-tree node pages.
+
+Pages serialise to real bytes before they hit the (simulated) flash, so
+the whole stack — buffer pool, storage manager, FTL/NoFTL, NAND array —
+round-trips actual content.  That is what lets the integration tests
+assert transactional durability *through* garbage collection, copybacks
+and recovery scans, not just count I/Os.
+
+Format (little-endian):
+
+* common header: magic ``u16``, page_type ``u8``, pad, page_id ``u32``,
+  lsn ``u64``;
+* slotted page: nslots ``u16``, free_ptr ``u16``, then the slot directory
+  (offset ``u16``, length ``u16`` per slot; offset 0xFFFF = tombstone)
+  growing from the front and record payloads growing from the back, as in
+  every real slotted-page implementation;
+* B+-tree node: leaf flag, key/value arrays of ``u64``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "PAGE_MAGIC",
+    "PageFormatError",
+    "SlottedPage",
+    "BTreeNodePage",
+    "decode_page",
+]
+
+PAGE_MAGIC = 0xDB17
+_TYPE_SLOTTED = 1
+_TYPE_BTREE = 2
+_COMMON = struct.Struct("<HBxIQ")          # magic, type, page_id, lsn
+_SLOTTED_SUB = struct.Struct("<HH")        # nslots, free_ptr
+_SLOT = struct.Struct("<HH")               # offset, length
+_TOMBSTONE = 0xFFFF
+
+
+class PageFormatError(Exception):
+    """Raised when page bytes cannot be decoded."""
+
+
+class SlottedPage:
+    """A classic slotted record page.
+
+    Records are opaque byte strings addressed by slot number; slots are
+    stable across compaction (the directory never shrinks), which is what
+    makes RIDs durable.
+    """
+
+    def __init__(self, page_id: int, page_bytes: int):
+        min_size = _COMMON.size + _SLOTTED_SUB.size + _SLOT.size + 8
+        if page_bytes < min_size:
+            raise ValueError(f"page_bytes {page_bytes} too small")
+        self.page_id = page_id
+        self.page_bytes = page_bytes
+        self.lsn = 0
+        self._records: List[Optional[bytes]] = []
+
+    # -- capacity accounting -------------------------------------------------
+
+    @property
+    def header_size(self) -> int:
+        return _COMMON.size + _SLOTTED_SUB.size
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._records)
+
+    @property
+    def live_records(self) -> int:
+        return sum(1 for record in self._records if record is not None)
+
+    def used_bytes(self) -> int:
+        payload = sum(len(record) for record in self._records
+                      if record is not None)
+        return self.header_size + _SLOT.size * len(self._records) + payload
+
+    def free_space(self) -> int:
+        return self.page_bytes - self.used_bytes()
+
+    def fits(self, record: bytes) -> bool:
+        return self.free_space() >= len(record) + _SLOT.size
+
+    # -- record operations -----------------------------------------------------
+
+    def insert(self, record: bytes) -> Optional[int]:
+        """Store a record; returns its slot, or None when it does not fit."""
+        if not isinstance(record, (bytes, bytearray)):
+            raise TypeError("records must be bytes")
+        record = bytes(record)
+        if len(record) >= _TOMBSTONE:
+            raise ValueError("record too large for slot encoding")
+        # reuse a tombstoned slot when possible (needs no directory growth)
+        for slot, existing in enumerate(self._records):
+            if existing is None and self.free_space() >= len(record):
+                self._records[slot] = record
+                return slot
+        if not self.fits(record):
+            return None
+        self._records.append(record)
+        return len(self._records) - 1
+
+    def get(self, slot: int) -> Optional[bytes]:
+        """The record at ``slot`` (None if deleted)."""
+        self._check_slot(slot)
+        return self._records[slot]
+
+    def update(self, slot: int, record: bytes) -> bool:
+        """Replace the record at ``slot``; False when the page is too full."""
+        self._check_slot(slot)
+        if self._records[slot] is None:
+            raise KeyError(f"slot {slot} is deleted")
+        record = bytes(record)
+        growth = len(record) - len(self._records[slot])
+        if growth > self.free_space():
+            return False
+        self._records[slot] = record
+        return True
+
+    def delete(self, slot: int) -> None:
+        self._check_slot(slot)
+        if self._records[slot] is None:
+            raise KeyError(f"slot {slot} already deleted")
+        self._records[slot] = None
+
+    def ensure_slot(self, slot: int, record) -> None:
+        """Force ``slot`` to hold ``record`` (None = tombstone), growing
+        the directory as needed — physical redo's page surgery."""
+        if slot < 0:
+            raise IndexError(f"slot {slot} out of range")
+        while len(self._records) <= slot:
+            self._records.append(None)
+        self._records[slot] = bytes(record) if record is not None else None
+
+    def restore(self, slot: int, record: bytes) -> None:
+        """Put a record back into its original (tombstoned) slot — undo of
+        a delete.  The slot must currently be empty."""
+        self._check_slot(slot)
+        if self._records[slot] is not None:
+            raise KeyError(f"slot {slot} is occupied")
+        record = bytes(record)
+        if self.free_space() < len(record):
+            raise ValueError("no room to restore record")
+        self._records[slot] = record
+
+    def iter_records(self):
+        """(slot, record) pairs of live records."""
+        for slot, record in enumerate(self._records):
+            if record is not None:
+                yield slot, record
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < len(self._records):
+            raise IndexError(f"slot {slot} out of range")
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(self.page_bytes)
+        _COMMON.pack_into(out, 0, PAGE_MAGIC, _TYPE_SLOTTED,
+                          self.page_id, self.lsn)
+        _SLOTTED_SUB.pack_into(out, _COMMON.size, len(self._records), 0)
+        directory = _COMMON.size + _SLOTTED_SUB.size
+        payload_end = self.page_bytes
+        for slot, record in enumerate(self._records):
+            entry = directory + slot * _SLOT.size
+            if record is None:
+                _SLOT.pack_into(out, entry, _TOMBSTONE, 0)
+            else:
+                payload_end -= len(record)
+                out[payload_end:payload_end + len(record)] = record
+                _SLOT.pack_into(out, entry, payload_end, len(record))
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "SlottedPage":
+        magic, page_type, page_id, lsn = _COMMON.unpack_from(raw, 0)
+        if magic != PAGE_MAGIC or page_type != _TYPE_SLOTTED:
+            raise PageFormatError("not a slotted page")
+        nslots, __ = _SLOTTED_SUB.unpack_from(raw, _COMMON.size)
+        page = cls(page_id, len(raw))
+        page.lsn = lsn
+        directory = _COMMON.size + _SLOTTED_SUB.size
+        for slot in range(nslots):
+            offset, length = _SLOT.unpack_from(raw, directory + slot * _SLOT.size)
+            if offset == _TOMBSTONE:
+                page._records.append(None)
+            else:
+                page._records.append(bytes(raw[offset:offset + length]))
+        return page
+
+
+class BTreeNodePage:
+    """A B+-tree node: sorted ``u64`` keys plus child pointers / values.
+
+    * leaf: ``values[i]`` belongs to ``keys[i]``; ``next_leaf`` chains the
+      leaf level for range scans;
+    * inner: ``children`` has ``len(keys) + 1`` entries; keys separate the
+      child subtrees.
+    """
+
+    _SUB = struct.Struct("<BxHIq")  # is_leaf, nkeys, reserved, next_leaf
+
+    def __init__(self, page_id: int, page_bytes: int, is_leaf: bool):
+        self.page_id = page_id
+        self.page_bytes = page_bytes
+        self.lsn = 0
+        self.is_leaf = is_leaf
+        self.keys: List[int] = []
+        self.values: List[int] = []    # leaf payloads (e.g. packed RIDs)
+        self.children: List[int] = []  # inner child page ids
+        self.next_leaf = -1
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of keys that fits in the serialised form."""
+        fixed = _COMMON.size + self._SUB.size
+        per_key = 16  # key u64 + (value u64 | child u64)
+        return max(3, (self.page_bytes - fixed - 8) // per_key)
+
+    def is_full(self) -> bool:
+        return len(self.keys) >= self.capacity
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(self.page_bytes)
+        _COMMON.pack_into(out, 0, PAGE_MAGIC, _TYPE_BTREE,
+                          self.page_id, self.lsn)
+        self._SUB.pack_into(out, _COMMON.size, int(self.is_leaf),
+                            len(self.keys), 0, self.next_leaf)
+        cursor = _COMMON.size + self._SUB.size
+        payload = self.values if self.is_leaf else self.children
+        for key in self.keys:
+            struct.pack_into("<q", out, cursor, key)
+            cursor += 8
+        for value in payload:
+            struct.pack_into("<q", out, cursor, value)
+            cursor += 8
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "BTreeNodePage":
+        magic, page_type, page_id, lsn = _COMMON.unpack_from(raw, 0)
+        if magic != PAGE_MAGIC or page_type != _TYPE_BTREE:
+            raise PageFormatError("not a btree page")
+        is_leaf, nkeys, __, next_leaf = cls._SUB.unpack_from(raw, _COMMON.size)
+        node = cls(page_id, len(raw), bool(is_leaf))
+        node.lsn = lsn
+        node.next_leaf = next_leaf
+        cursor = _COMMON.size + cls._SUB.size
+        for __ in range(nkeys):
+            node.keys.append(struct.unpack_from("<q", raw, cursor)[0])
+            cursor += 8
+        count = nkeys if node.is_leaf else nkeys + 1
+        payload = []
+        for __ in range(count):
+            payload.append(struct.unpack_from("<q", raw, cursor)[0])
+            cursor += 8
+        if node.is_leaf:
+            node.values = payload
+        else:
+            node.children = payload
+        return node
+
+
+def decode_page(raw: bytes):
+    """Dispatch on the page-type byte of serialised page bytes."""
+    if raw is None:
+        return None
+    magic, page_type, __, __ = _COMMON.unpack_from(raw, 0)
+    if magic != PAGE_MAGIC:
+        raise PageFormatError(f"bad magic 0x{magic:04x}")
+    if page_type == _TYPE_SLOTTED:
+        return SlottedPage.from_bytes(raw)
+    if page_type == _TYPE_BTREE:
+        return BTreeNodePage.from_bytes(raw)
+    raise PageFormatError(f"unknown page type {page_type}")

@@ -1,0 +1,188 @@
+"""Crash recovery: ARIES-shaped redo/undo from the write-ahead log.
+
+The engine uses a STEAL / NO-FORCE buffer policy (dirty uncommitted
+pages may reach flash; committed pages need not have), so recovery does
+both passes:
+
+1. **analysis** — scan the durable log prefix (records with LSN ≤ the
+   flushed LSN survive a crash) for the committed transaction set;
+2. **redo** — replay heap after-images in LSN order onto the recovered
+   pages, guarded by each page's LSN so already-persisted changes are
+   not reapplied; pages that never reached flash are recreated;
+3. **undo** — walk losers' records backwards applying before-images.
+
+Index changes are redone *logically* (insert-if-absent /
+delete-if-present) on top of the physically recovered node pages —
+idempotent, so it composes with whatever node state reached flash.
+
+On NoFTL storage, run :meth:`repro.core.NoFTLStorageManager.recover`
+(the OOB mapping scan) first so the flash itself is readable, then this
+pass to restore transactional consistency — together they are the full
+crash story of a NoFTL database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from .page import SlottedPage
+from .wal import WALRecord
+
+__all__ = ["RecoveryReport", "recover_database"]
+
+
+class RecoveryReport:
+    """What a recovery pass did."""
+
+    def __init__(self):
+        self.durable_lsn = 0
+        self.committed_txns: Set[int] = set()
+        self.loser_txns: Set[int] = set()
+        self.redo_applied = 0
+        self.redo_skipped = 0
+        self.undo_applied = 0
+        self.pages_recreated = 0
+        self.index_ops_replayed = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "durable_lsn": self.durable_lsn,
+            "committed_txns": len(self.committed_txns),
+            "loser_txns": len(self.loser_txns),
+            "redo_applied": self.redo_applied,
+            "redo_skipped": self.redo_skipped,
+            "undo_applied": self.undo_applied,
+            "pages_recreated": self.pages_recreated,
+            "index_ops_replayed": self.index_ops_replayed,
+        }
+
+
+_HEAP_KINDS = ("insert", "update", "delete")
+_INDEX_KINDS = ("index-insert", "index-delete")
+
+
+def recover_database(db, records: Iterable[WALRecord],
+                     durable_lsn: int) -> "RecoveryReport":
+    """Generator: bring ``db`` to a transaction-consistent state.
+
+    ``db`` is a freshly constructed :class:`~repro.db.database.Database`
+    over the surviving storage, with the same schema re-declared (heaps
+    created, indexes created — their *catalog*, not their contents).
+    ``records`` is the write-ahead log as saved by the pre-crash WAL
+    (``keep_records=True``); ``durable_lsn`` is the pre-crash flushed
+    LSN — everything after it was lost with the crash.
+
+    Returns a :class:`RecoveryReport`.
+    """
+    report = RecoveryReport()
+    report.durable_lsn = durable_lsn
+    durable = [record for record in records if record.lsn <= durable_lsn]
+    # Continue the old log's LSN sequence so recovered page LSNs compare
+    # sanely with post-recovery appends.
+    db.wal.fast_forward(durable_lsn)
+
+    # -- analysis ---------------------------------------------------------
+    seen_txns: Set[int] = set()
+    for record in durable:
+        seen_txns.add(record.txn_id)
+        if record.kind == "commit":
+            report.committed_txns.add(record.txn_id)
+    report.loser_txns = seen_txns - report.committed_txns
+
+    # -- redo (physical, heap pages) ---------------------------------------
+    for record in durable:
+        if record.kind not in _HEAP_KINDS:
+            continue
+        yield from _redo_heap(db, record, report)
+
+    # -- undo (losers, reverse order) ---------------------------------------
+    for record in reversed(durable):
+        if record.txn_id not in report.loser_txns:
+            continue
+        if record.kind in _HEAP_KINDS:
+            yield from _undo_heap(db, record, report)
+
+    # -- index replay (logical, idempotent) ----------------------------------
+    for record in durable:
+        if record.kind not in _INDEX_KINDS:
+            continue
+        winner = record.txn_id in report.committed_txns
+        yield from _replay_index(db, record, winner, report)
+
+    yield from db.checkpoint()
+    return report
+
+
+def _fetch_or_recreate(db, page_id: int, report: RecoveryReport):
+    """Generator: pin the page, materialising an empty one if it never
+    reached storage before the crash."""
+    try:
+        frame = yield from db.buffer.fetch(page_id)
+    except KeyError:
+        page = SlottedPage(page_id, db.page_bytes)
+        frame = yield from db.buffer.new_page(page_id, page)
+        report.pages_recreated += 1
+        if page_id >= db._next_page_id:
+            db._next_page_id = page_id + 1
+    return frame
+
+
+def _redo_heap(db, record: WALRecord, report: RecoveryReport):
+    heap_name, page_id, slot = record.payload[:3]
+    heap = db.heaps.get(heap_name)
+    if heap is None:
+        return
+    frame = yield from _fetch_or_recreate(db, page_id, report)
+    try:
+        if frame.page.lsn >= record.lsn:
+            report.redo_skipped += 1
+            return
+        if record.kind == "insert":
+            frame.page.ensure_slot(slot, record.payload[3])
+        elif record.kind == "update":
+            frame.page.ensure_slot(slot, record.payload[3])
+        else:  # delete
+            frame.page.ensure_slot(slot, None)
+        frame.page.lsn = record.lsn
+        db.buffer.mark_dirty(page_id)
+        report.redo_applied += 1
+        if page_id not in heap.page_ids:
+            heap.page_ids.append(page_id)
+    finally:
+        db.buffer.unpin(page_id)
+
+
+def _undo_heap(db, record: WALRecord, report: RecoveryReport):
+    heap_name, page_id, slot = record.payload[:3]
+    if db.heaps.get(heap_name) is None:
+        return
+    frame = yield from _fetch_or_recreate(db, page_id, report)
+    try:
+        if record.kind == "insert":
+            frame.page.ensure_slot(slot, None)
+        elif record.kind == "update":
+            frame.page.ensure_slot(slot, record.payload[4])  # before-image
+        else:  # delete: restore the before-image
+            frame.page.ensure_slot(slot, record.payload[3])
+        db.buffer.mark_dirty(page_id)
+        report.undo_applied += 1
+    finally:
+        db.buffer.unpin(page_id)
+
+
+def _replay_index(db, record: WALRecord, winner: bool,
+                  report: RecoveryReport):
+    index_name, key, value = record.payload
+    index = db.indexes.get(index_name)
+    if index is None:
+        return
+    txn = db.begin()
+    current = yield from index.lookup(txn, key)
+    wants_present = (record.kind == "index-insert") == winner
+    if wants_present and current is None:
+        yield from index.insert(txn, key, value)
+        report.index_ops_replayed += 1
+    elif not wants_present and current is not None:
+        yield from index.delete(txn, key)
+        report.index_ops_replayed += 1
+    yield from db.commit(txn)

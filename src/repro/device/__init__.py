@@ -1,0 +1,13 @@
+"""Storage device front-ends: the legacy block device (black-box SSD with
+on-device FTL, NCQ-limited) and the native flash device (NoFTL's direct
+command interface)."""
+
+from .blockdev import BlockDevice, SyncBlockDevice
+from .nativedev import NativeFlashDevice, SyncNativeFlashDevice
+
+__all__ = [
+    "BlockDevice",
+    "SyncBlockDevice",
+    "NativeFlashDevice",
+    "SyncNativeFlashDevice",
+]

@@ -1,0 +1,136 @@
+"""The legacy block device: a black-box Flash SSD.
+
+Figure 1.a/1.b of the paper: the DBMS sees only ``READ(lba)`` /
+``WRITE(lba)``; an on-device FTL translates, garbage-collects and
+wear-levels behind the interface.  Two bottlenecks of the real article are
+modelled explicitly:
+
+* **NCQ depth** — SATA2 admits at most 32 outstanding commands
+  (Section 3.2 contrasts this with ~160 concurrent native flash
+  commands);
+* **controller concurrency** — FTL work runs on "a single ASIC
+  controller" (Section 3) that can keep only a handful of NAND
+  operations in flight (``controller_slots``, default 4 — typical of
+  the era's firmware command interleaving).  Operations that mutate FTL
+  state (all writes, and reads that miss the mapping cache) occupy a
+  slot for their full duration, so a burst of merges/GC starves
+  foreground writes.  Reads whose translation is a pure lookup bypass
+  the controller entirely.
+
+Host-observed latency per operation (queueing included) feeds the
+latency-predictability experiment (E6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..flash.executor import SimExecutor, SyncExecutor
+from ..ftl.base import BaseFTL
+from ..sim import LatencyRecorder, Resource, Simulator
+
+__all__ = ["BlockDevice", "SyncBlockDevice"]
+
+
+class BlockDevice:
+    """DES-mode black-box SSD: an FTL behind a queue-limited interface.
+
+    All I/O entry points are DES generators::
+
+        data = yield from device.read(lba)
+        yield from device.write(lba, data)
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ftl: BaseFTL,
+        executor: SimExecutor,
+        ncq_depth: int = 32,
+        controller_slots: int = 4,
+        interface_overhead_us: float = 20.0,
+    ):
+        if ncq_depth < 1:
+            raise ValueError("ncq_depth must be >= 1")
+        if controller_slots < 1:
+            raise ValueError("controller_slots must be >= 1")
+        self.sim = sim
+        self.ftl = ftl
+        self.executor = executor
+        self.ncq = Resource(sim, capacity=ncq_depth)
+        self.controller = Resource(sim, capacity=controller_slots)
+        self.interface_overhead_us = interface_overhead_us
+        self.read_latency = LatencyRecorder("blockdev-read")
+        self.write_latency = LatencyRecorder("blockdev-write")
+
+    @property
+    def logical_pages(self) -> int:
+        return self.ftl.logical_pages
+
+    def read(self, lba: int):
+        start = self.sim.now
+        yield self.ncq.request()
+        try:
+            yield self.sim.timeout(self.interface_overhead_us)
+            if self._is_fast_read(lba):
+                data = yield from self.executor.run(self.ftl.read(lba))
+            else:
+                yield self.controller.request()
+                try:
+                    data = yield from self.executor.run(self.ftl.read(lba))
+                finally:
+                    self.controller.release()
+        finally:
+            self.ncq.release()
+        self.read_latency.record(self.sim.now - start)
+        return data
+
+    def write(self, lba: int, data=None):
+        start = self.sim.now
+        yield self.ncq.request()
+        try:
+            yield self.sim.timeout(self.interface_overhead_us)
+            yield self.controller.request()
+            try:
+                yield from self.executor.run(self.ftl.write(lba, data))
+            finally:
+                self.controller.release()
+        finally:
+            self.ncq.release()
+        self.write_latency.record(self.sim.now - start)
+
+    def trim(self, lba: int):
+        yield self.ncq.request()
+        try:
+            yield self.controller.request()
+            try:
+                yield from self.executor.run(self.ftl.trim(lba))
+            finally:
+                self.controller.release()
+        finally:
+            self.ncq.release()
+
+    def _is_fast_read(self, lba: int) -> bool:
+        probe = getattr(self.ftl, "is_fast_read", None)
+        return bool(probe(lba)) if probe is not None else False
+
+
+class SyncBlockDevice:
+    """Synchronous flavour for trace replay and tests (no queueing)."""
+
+    def __init__(self, ftl: BaseFTL, executor: SyncExecutor):
+        self.ftl = ftl
+        self.executor = executor
+
+    @property
+    def logical_pages(self) -> int:
+        return self.ftl.logical_pages
+
+    def read(self, lba: int):
+        return self.executor.run(self.ftl.read(lba))
+
+    def write(self, lba: int, data=None) -> None:
+        self.executor.run(self.ftl.write(lba, data))
+
+    def trim(self, lba: int) -> None:
+        self.executor.run(self.ftl.trim(lba))

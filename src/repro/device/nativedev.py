@@ -1,0 +1,96 @@
+"""The native flash device: what NoFTL talks to.
+
+Figure 1.c of the paper: no FTL, no block layer — the host issues native
+commands (READ PAGE / PROGRAM PAGE / COPYBACK / ERASE BLOCK / IDENTIFY)
+straight at the NAND, subject only to die/channel availability.  On the
+paper's OpenSSD port this is the ATA-pass-through protocol; here it is a
+thin veneer over the flash device front-ends that
+
+* exposes :meth:`identify` (the geometry-discovery command the paper's
+  protocol requires, cf. HDIO_GETGEO), and
+* records per-command host-observed latency.
+
+There is deliberately **no** queue-depth limit: native flash accepts as
+many concurrent commands as there are dies to serve them (the 160 vs 32
+comparison of Section 3.2 — bench E8).
+"""
+
+from __future__ import annotations
+
+from ..flash.commands import Copyback, EraseBlock, Identify, ProgramPage, ReadOob, ReadPage
+from ..flash.device import SimFlashDevice, SyncFlashDevice
+from ..flash.geometry import Geometry
+from ..sim import LatencyRecorder
+
+__all__ = ["NativeFlashDevice", "SyncNativeFlashDevice"]
+
+
+class NativeFlashDevice:
+    """DES-mode native flash front-end (generator methods)."""
+
+    def __init__(self, device: SimFlashDevice):
+        self.device = device
+        self.sim = device.sim
+        self.latency = LatencyRecorder("native-flash")
+
+    @property
+    def geometry(self) -> Geometry:
+        return self.device.geometry
+
+    def identify(self):
+        result = yield from self.device.execute(Identify())
+        return result.data
+
+    def read_page(self, ppn: int):
+        result = yield from self._timed(ReadPage(ppn=ppn))
+        return result.data, result.oob
+
+    def program_page(self, ppn: int, data=None, oob=None):
+        yield from self._timed(ProgramPage(ppn=ppn, data=data, oob=oob))
+
+    def erase_block(self, pbn: int):
+        yield from self._timed(EraseBlock(pbn=pbn))
+
+    def copyback(self, src_ppn: int, dst_ppn: int, oob=None):
+        yield from self._timed(Copyback(src_ppn=src_ppn, dst_ppn=dst_ppn,
+                                        oob=oob))
+
+    def read_oob(self, ppn: int):
+        result = yield from self._timed(ReadOob(ppn=ppn))
+        return result.oob
+
+    def _timed(self, command):
+        start = self.sim.now
+        result = yield from self.device.execute(command)
+        self.latency.record(self.sim.now - start)
+        return result
+
+
+class SyncNativeFlashDevice:
+    """Synchronous flavour of the native interface."""
+
+    def __init__(self, device: SyncFlashDevice):
+        self.device = device
+
+    @property
+    def geometry(self) -> Geometry:
+        return self.device.geometry
+
+    def identify(self) -> dict:
+        return self.device.execute(Identify()).data
+
+    def read_page(self, ppn: int):
+        result = self.device.execute(ReadPage(ppn=ppn))
+        return result.data, result.oob
+
+    def program_page(self, ppn: int, data=None, oob=None) -> None:
+        self.device.execute(ProgramPage(ppn=ppn, data=data, oob=oob))
+
+    def erase_block(self, pbn: int) -> None:
+        self.device.execute(EraseBlock(pbn=pbn))
+
+    def copyback(self, src_ppn: int, dst_ppn: int, oob=None) -> None:
+        self.device.execute(Copyback(src_ppn=src_ppn, dst_ppn=dst_ppn, oob=oob))
+
+    def read_oob(self, ppn: int):
+        return self.device.execute(ReadOob(ppn=ppn)).oob

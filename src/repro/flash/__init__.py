@@ -1,0 +1,77 @@
+"""NAND flash substrate: geometry, timing, command set, array state machine
+and the two device front-ends (synchronous and DES).
+
+This package plays the role of the paper's OpenSSD board *and* its
+real-time flash emulator: a native flash device exposing READ PAGE /
+PROGRAM PAGE / COPYBACK / ERASE BLOCK / IDENTIFY with realistic per-command
+latency and die/channel parallelism.
+"""
+
+from .array import ArrayCounters, FlashArray
+from .commands import (
+    CommandResult,
+    Copyback,
+    EraseBlock,
+    FlashCommand,
+    Identify,
+    Pause,
+    ProgramPage,
+    ReadOob,
+    ReadPage,
+)
+from .device import SimFlashDevice, SyncFlashDevice
+from .errors import (
+    BadBlockError,
+    BlockWornOut,
+    CopybackPlaneError,
+    FlashError,
+    OverwriteError,
+    ProgramSequenceError,
+    ReadUnwrittenError,
+    UncorrectableError,
+)
+from .executor import FlashOp, SimExecutor, SyncExecutor
+from .geometry import FlashAddress, Geometry
+from .timing import (
+    MLC_TIMING,
+    OPENSSD_JASMINE,
+    SLC_TIMING,
+    TIMING_PRESETS,
+    TLC_TIMING,
+    TimingSpec,
+)
+
+__all__ = [
+    "ArrayCounters",
+    "FlashArray",
+    "CommandResult",
+    "Copyback",
+    "EraseBlock",
+    "FlashCommand",
+    "Identify",
+    "Pause",
+    "ProgramPage",
+    "ReadOob",
+    "ReadPage",
+    "SimFlashDevice",
+    "SyncFlashDevice",
+    "BadBlockError",
+    "BlockWornOut",
+    "CopybackPlaneError",
+    "FlashError",
+    "OverwriteError",
+    "ProgramSequenceError",
+    "ReadUnwrittenError",
+    "UncorrectableError",
+    "FlashOp",
+    "SimExecutor",
+    "SyncExecutor",
+    "FlashAddress",
+    "Geometry",
+    "MLC_TIMING",
+    "OPENSSD_JASMINE",
+    "SLC_TIMING",
+    "TIMING_PRESETS",
+    "TLC_TIMING",
+    "TimingSpec",
+]

@@ -1,0 +1,326 @@
+"""The NAND array state machine.
+
+:class:`FlashArray` is *pure state + rules*, with no notion of simulated
+time beyond computing each command's latency from the
+:class:`~repro.flash.timing.TimingSpec`.  The two device front-ends
+(:class:`~repro.flash.device.SyncFlashDevice` for trace replay and
+:class:`~repro.flash.device.SimFlashDevice` for contention-aware DES runs)
+share this one implementation, so command accounting — the paper's Figure 3
+currency — is identical on both paths.
+
+Enforced NAND rules:
+
+* pages within a block are programmed strictly in ascending order;
+* a programmed page cannot be reprogrammed before a block erase;
+* COPYBACK moves a page only within one plane of one die;
+* erases beyond the endurance limit grow a bad block
+  (:class:`~repro.flash.errors.BlockWornOut`);
+* factory-bad blocks reject program/erase.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .commands import (
+    CommandResult,
+    Copyback,
+    EraseBlock,
+    FlashCommand,
+    Identify,
+    Pause,
+    ProgramPage,
+    ReadOob,
+    ReadPage,
+)
+from .errors import (
+    BadBlockError,
+    BlockWornOut,
+    CopybackPlaneError,
+    OverwriteError,
+    ProgramSequenceError,
+    ReadUnwrittenError,
+    UncorrectableError,
+)
+from .geometry import Geometry
+from .timing import MLC_TIMING, TimingSpec
+
+__all__ = ["FlashArray", "ArrayCounters"]
+
+
+@dataclass
+class ArrayCounters:
+    """Command counters — the raw material of the paper's Figure 3 table."""
+
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    copybacks: int = 0
+    oob_reads: int = 0
+    per_die_ops: List[int] = field(default_factory=list)
+    busy_us: float = 0.0  # sum of all command latencies (no overlap model)
+
+    def snapshot(self) -> dict:
+        return {
+            "reads": self.reads,
+            "programs": self.programs,
+            "erases": self.erases,
+            "copybacks": self.copybacks,
+            "oob_reads": self.oob_reads,
+            "busy_us": self.busy_us,
+        }
+
+
+class FlashArray:
+    """State of every page and block of one flash device.
+
+    Parameters
+    ----------
+    geometry, timing
+        Shape and latency model.
+    store_data
+        When False, page payloads are discarded (pure command-counting
+        runs such as trace replay); reads then return None.
+    max_erase_cycles
+        Endurance limit; ``None`` disables wear-out.
+    initial_bad_block_rate
+        Fraction of factory-bad blocks, drawn with ``rng``.
+    read_error_rate
+        Probability that any single page read raises
+        :class:`UncorrectableError` (failure-injection hook; default off).
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        timing: TimingSpec = MLC_TIMING,
+        store_data: bool = True,
+        max_erase_cycles: Optional[int] = None,
+        initial_bad_block_rate: float = 0.0,
+        read_error_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= initial_bad_block_rate < 1.0:
+            raise ValueError("initial_bad_block_rate must be in [0, 1)")
+        if not 0.0 <= read_error_rate <= 1.0:
+            raise ValueError("read_error_rate must be in [0, 1]")
+        self.geometry = geometry
+        self.timing = timing
+        self.store_data = store_data
+        self.max_erase_cycles = max_erase_cycles
+        self.read_error_rate = read_error_rate
+        self._rng = rng or random.Random(0)
+
+        nblocks = geometry.total_blocks
+        self.erase_counts: List[int] = [0] * nblocks
+        self._next_page: List[int] = [0] * nblocks
+        self._programmed: set = set()
+        self._bad: List[bool] = [False] * nblocks
+        self._data: Dict[int, Any] = {}
+        self._oob: Dict[int, Any] = {}
+        self.counters = ArrayCounters(per_die_ops=[0] * geometry.total_dies)
+
+        if initial_bad_block_rate > 0:
+            for pbn in range(nblocks):
+                if self._rng.random() < initial_bad_block_rate:
+                    self._bad[pbn] = True
+
+    # -- inspection ------------------------------------------------------------
+
+    def is_bad(self, pbn: int) -> bool:
+        return self._bad[pbn]
+
+    def factory_bad_blocks(self) -> List[int]:
+        return [pbn for pbn, bad in enumerate(self._bad) if bad]
+
+    def is_programmed(self, ppn: int) -> bool:
+        return ppn in self._programmed
+
+    def next_free_page(self, pbn: int) -> int:
+        """Lowest page offset still programmable in ascending order
+        (== pages_per_block when the block's high-water mark is full).
+        NAND allows *skipping* pages but never going back, so this is the
+        high-water mark, not a count."""
+        return self._next_page[pbn]
+
+    def erase_count(self, pbn: int) -> int:
+        return self.erase_counts[pbn]
+
+    def wear_summary(self) -> dict:
+        alive = [count for count, bad in zip(self.erase_counts, self._bad) if not bad]
+        if not alive:
+            return {"min": 0, "max": 0, "mean": 0.0, "total": 0}
+        return {
+            "min": min(alive),
+            "max": max(alive),
+            "mean": sum(alive) / len(alive),
+            "total": sum(self.erase_counts),
+        }
+
+    def peek_data(self, ppn: int) -> Any:
+        """Direct state access for tests (bypasses commands and counters)."""
+        return self._data.get(ppn)
+
+    def peek_oob(self, ppn: int) -> Any:
+        return self._oob.get(ppn)
+
+    # -- command execution -------------------------------------------------------
+
+    def apply(self, command: FlashCommand) -> CommandResult:
+        """Validate + execute one command, returning data and latency."""
+        if isinstance(command, ReadPage):
+            return self._read(command)
+        if isinstance(command, ProgramPage):
+            return self._program(command)
+        if isinstance(command, EraseBlock):
+            return self._erase(command)
+        if isinstance(command, Copyback):
+            return self._copyback(command)
+        if isinstance(command, ReadOob):
+            return self._read_oob(command)
+        if isinstance(command, Identify):
+            return CommandResult(command, latency_us=self.timing.cmd_overhead_us,
+                                 data=self.geometry.describe())
+        if isinstance(command, Pause):
+            self.counters.busy_us += command.duration_us
+            return CommandResult(command, latency_us=command.duration_us)
+        raise TypeError(f"unknown flash command: {command!r}")
+
+    def die_of_command(self, command: FlashCommand) -> Optional[int]:
+        """Global die a command will occupy (None for Identify)."""
+        if isinstance(command, (ReadPage, ReadOob)):
+            return self.geometry.die_of_ppn(command.ppn)
+        if isinstance(command, ProgramPage):
+            return self.geometry.die_of_ppn(command.ppn)
+        if isinstance(command, EraseBlock):
+            return self.geometry.die_of_block(command.pbn)
+        if isinstance(command, Copyback):
+            return self.geometry.die_of_ppn(command.src_ppn)
+        return None
+
+    # -- individual commands ------------------------------------------------------
+
+    def _read(self, command: ReadPage) -> CommandResult:
+        ppn = command.ppn
+        if not self.is_programmed(ppn):
+            raise ReadUnwrittenError(f"read of unwritten page ppn={ppn}")
+        if self.read_error_rate and self._rng.random() < self.read_error_rate:
+            raise UncorrectableError(f"uncorrectable read at ppn={ppn}")
+        self.counters.reads += 1
+        self._bump_die(ppn)
+        latency = self.timing.read_latency_us(self.geometry.page_bytes)
+        self.counters.busy_us += latency
+        return CommandResult(
+            command,
+            latency_us=latency,
+            die=self.geometry.die_of_ppn(ppn),
+            data=self._data.get(ppn),
+            oob=self._oob.get(ppn),
+        )
+
+    def _program(self, command: ProgramPage) -> CommandResult:
+        ppn = command.ppn
+        pbn = self.geometry.block_of_ppn(ppn)
+        offset = self.geometry.page_offset_of_ppn(ppn)
+        self._check_programmable(ppn, pbn, offset)
+        self._next_page[pbn] = offset + 1
+        self._programmed.add(ppn)
+        if self.store_data:
+            self._data[ppn] = command.data
+        self._oob[ppn] = command.oob
+        self.counters.programs += 1
+        self._bump_die(ppn)
+        latency = self.timing.program_latency_us(self.geometry.page_bytes)
+        self.counters.busy_us += latency
+        return CommandResult(command, latency_us=latency,
+                             die=self.geometry.die_of_ppn(ppn))
+
+    def _erase(self, command: EraseBlock) -> CommandResult:
+        pbn = command.pbn
+        self.geometry._check_block(pbn)
+        if self._bad[pbn]:
+            raise BadBlockError(f"erase of bad block pbn={pbn}")
+        self.erase_counts[pbn] += 1
+        self._wipe_block(pbn)
+        self.counters.erases += 1
+        die = self.geometry.die_of_block(pbn)
+        self.counters.per_die_ops[die] += 1
+        latency = self.timing.erase_latency_us()
+        self.counters.busy_us += latency
+        if (
+            self.max_erase_cycles is not None
+            and self.erase_counts[pbn] > self.max_erase_cycles
+        ):
+            self._bad[pbn] = True
+            raise BlockWornOut(pbn, self.erase_counts[pbn])
+        return CommandResult(command, latency_us=latency, die=die)
+
+    def _copyback(self, command: Copyback) -> CommandResult:
+        src, dst = command.src_ppn, command.dst_ppn
+        if not self.geometry.same_plane(src, dst):
+            raise CopybackPlaneError(
+                f"copyback crosses planes: {self.geometry.decompose(src)} -> "
+                f"{self.geometry.decompose(dst)}"
+            )
+        if not self.is_programmed(src):
+            raise ReadUnwrittenError(f"copyback from unwritten page ppn={src}")
+        dst_pbn = self.geometry.block_of_ppn(dst)
+        dst_offset = self.geometry.page_offset_of_ppn(dst)
+        self._check_programmable(dst, dst_pbn, dst_offset)
+        self._next_page[dst_pbn] = dst_offset + 1
+        self._programmed.add(dst)
+        if self.store_data:
+            self._data[dst] = self._data.get(src)
+        self._oob[dst] = command.oob if command.oob is not None else self._oob.get(src)
+        self.counters.copybacks += 1
+        self._bump_die(src)
+        latency = self.timing.copyback_latency_us()
+        self.counters.busy_us += latency
+        return CommandResult(command, latency_us=latency,
+                             die=self.geometry.die_of_ppn(src))
+
+    def _read_oob(self, command: ReadOob) -> CommandResult:
+        ppn = command.ppn
+        if not self.is_programmed(ppn):
+            raise ReadUnwrittenError(f"OOB read of unwritten page ppn={ppn}")
+        self.counters.oob_reads += 1
+        self._bump_die(ppn)
+        latency = self.timing.cmd_overhead_us + self.timing.read_us + \
+            self.timing.transfer_us(self.geometry.oob_bytes)
+        self.counters.busy_us += latency
+        return CommandResult(command, latency_us=latency,
+                             die=self.geometry.die_of_ppn(ppn),
+                             oob=self._oob.get(ppn))
+
+    # -- helpers --------------------------------------------------------------------
+
+    def mark_bad(self, pbn: int) -> None:
+        """Administratively mark a block bad (used by bad-block managers)."""
+        self.geometry._check_block(pbn)
+        self._bad[pbn] = True
+
+    def _check_programmable(self, ppn: int, pbn: int, offset: int) -> None:
+        if self._bad[pbn]:
+            raise BadBlockError(f"program into bad block pbn={pbn}")
+        if ppn in self._programmed:
+            raise OverwriteError(
+                f"page {offset} of block {pbn} already programmed"
+            )
+        if offset < self._next_page[pbn]:
+            raise ProgramSequenceError(
+                f"block {pbn}: programming page {offset} after page "
+                f"{self._next_page[pbn] - 1} (NAND requires ascending order)"
+            )
+
+    def _wipe_block(self, pbn: int) -> None:
+        base = pbn * self.geometry.pages_per_block
+        for ppn in range(base, base + self._next_page[pbn]):
+            self._data.pop(ppn, None)
+            self._oob.pop(ppn, None)
+            self._programmed.discard(ppn)
+        self._next_page[pbn] = 0
+
+    def _bump_die(self, ppn: int) -> None:
+        self.counters.per_die_ops[self.geometry.die_of_ppn(ppn)] += 1

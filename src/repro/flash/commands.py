@@ -1,0 +1,115 @@
+"""The native flash command set.
+
+Section 3 of the paper defines the minimal native interface: PAGE READ and
+PAGE PROGRAM with data transfer, COPYBACK PROGRAM and BLOCK ERASE without
+user-data transfer, plus an identify command and page-metadata (OOB)
+handling.  These dataclasses are that wire protocol; FTLs and the NoFTL
+storage manager *yield* them, and an executor (sync or DES) carries them
+out against a :class:`~repro.flash.array.FlashArray`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "FlashCommand",
+    "ReadPage",
+    "ProgramPage",
+    "EraseBlock",
+    "Copyback",
+    "ReadOob",
+    "Identify",
+    "Pause",
+    "CommandResult",
+]
+
+
+@dataclass(frozen=True)
+class FlashCommand:
+    """Base marker for all native flash commands."""
+
+
+@dataclass(frozen=True)
+class ReadPage(FlashCommand):
+    """PAGE READ: sense page ``ppn`` and transfer it over the channel."""
+
+    ppn: int
+
+
+@dataclass(frozen=True)
+class ProgramPage(FlashCommand):
+    """PAGE PROGRAM: transfer ``data`` and program page ``ppn``.
+
+    ``oob`` carries out-of-band page metadata (the paper's "handle Page
+    Metadata"); by convention the layers above store the logical page
+    number and a write timestamp there so a cold scan can rebuild mappings.
+    """
+
+    ppn: int
+    data: Any = None
+    oob: Any = None
+
+
+@dataclass(frozen=True)
+class EraseBlock(FlashCommand):
+    """BLOCK ERASE of flat physical block ``pbn`` (no data transfer)."""
+
+    pbn: int
+
+
+@dataclass(frozen=True)
+class Copyback(FlashCommand):
+    """COPYBACK PROGRAM: on-die move ``src_ppn`` -> ``dst_ppn``.
+
+    Valid only within one plane of one die; the array enforces this the
+    way real NAND does.  ``oob`` optionally rewrites the destination's
+    metadata (real copyback preserves OOB; NoFTL updates the mapping in
+    host RAM instead, so either convention works — we keep OOB unless
+    overridden).
+    """
+
+    src_ppn: int
+    dst_ppn: int
+    oob: Any = None
+
+
+@dataclass(frozen=True)
+class ReadOob(FlashCommand):
+    """Read only the OOB metadata of ``ppn`` (spare-area read).
+
+    Much cheaper than a full page read; used by recovery scans.
+    """
+
+    ppn: int
+
+
+@dataclass(frozen=True)
+class Identify(FlashCommand):
+    """Device identification (the HDIO_GETGEO analogue of Section 3):
+    returns the :class:`~repro.flash.geometry.Geometry` description."""
+
+
+@dataclass(frozen=True)
+class Pause(FlashCommand):
+    """Controller-side busy-wait: occupies no die, just time.
+
+    FTL firmware yields this when it must let background maintenance
+    catch up (e.g. FASTer's log area is saturated while a reclaim is in
+    flight) — the backpressure real devices express as command latency.
+    """
+
+    duration_us: float = 100.0
+
+
+@dataclass
+class CommandResult:
+    """Outcome of one executed command."""
+
+    command: FlashCommand
+    latency_us: float
+    die: Optional[int] = None  # global die index the command occupied
+    data: Any = None           # page payload (reads) / geometry (identify)
+    oob: Any = None            # page metadata (reads)
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,60 @@
+"""Flash-level error types.
+
+Real NAND fails in specific, well-defined ways; the layers above (FTL bad
+block managers, the NoFTL bad-block manager) are tested against exactly
+these failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FlashError",
+    "ProgramSequenceError",
+    "OverwriteError",
+    "BadBlockError",
+    "BlockWornOut",
+    "CopybackPlaneError",
+    "UncorrectableError",
+    "ReadUnwrittenError",
+]
+
+
+class FlashError(Exception):
+    """Base class for all NAND-level failures."""
+
+
+class ProgramSequenceError(FlashError):
+    """Pages inside a block must be programmed in ascending order."""
+
+
+class OverwriteError(FlashError):
+    """A programmed page cannot be reprogrammed before the block is erased."""
+
+
+class BadBlockError(FlashError):
+    """Program/erase attempted on a block marked bad."""
+
+
+class BlockWornOut(FlashError):
+    """The block exceeded its rated program/erase cycles and just failed.
+
+    The array marks the block bad before raising, so the caller only has to
+    remap (what a bad-block manager does on a grown bad block).
+    """
+
+    def __init__(self, pbn: int, erase_count: int):
+        super().__init__(f"block {pbn} worn out after {erase_count} erases")
+        self.pbn = pbn
+        self.erase_count = erase_count
+
+
+class CopybackPlaneError(FlashError):
+    """COPYBACK source and destination must share a plane."""
+
+
+class UncorrectableError(FlashError):
+    """Injected bit errors exceeded ECC capability on a read."""
+
+
+class ReadUnwrittenError(FlashError):
+    """Read of a page that was never programmed since the last erase."""

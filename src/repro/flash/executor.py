@@ -1,0 +1,85 @@
+"""Executors: drive command-yielding operations against a device.
+
+FTLs and the NoFTL storage manager are written as *generators of flash
+commands*: host-side work (map lookups in host RAM) is plain code, every
+flash touch is a ``yield <FlashCommand>`` whose value is the
+:class:`~repro.flash.commands.CommandResult`.  The same operation code then
+runs
+
+* synchronously for trace replay / unit tests (:class:`SyncExecutor`), or
+* inside the DES with die/channel contention (:class:`SimExecutor`).
+
+Flash errors raised by the array are thrown *into* the operation generator
+so FTL-level recovery (bad-block remapping) happens at the right place in
+either mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .commands import FlashCommand
+from .device import SimFlashDevice, SyncFlashDevice
+from .errors import FlashError
+
+__all__ = ["SyncExecutor", "SimExecutor", "FlashOp"]
+
+#: Type alias for documentation: a generator yielding FlashCommand and
+#: returning the operation's result.
+FlashOp = Generator
+
+
+def _check_command(command: Any) -> FlashCommand:
+    if not isinstance(command, FlashCommand):
+        raise TypeError(
+            f"flash operation yielded {command!r}, expected FlashCommand"
+        )
+    return command
+
+
+class SyncExecutor:
+    """Runs a flash operation to completion immediately."""
+
+    def __init__(self, device: SyncFlashDevice):
+        self.device = device
+
+    def run(self, operation: FlashOp) -> Any:
+        """Drive ``operation``; returns its ``return`` value."""
+        try:
+            command = _check_command(operation.send(None))
+            while True:
+                try:
+                    result = self.device.execute(command)
+                except FlashError as exc:
+                    # Let the operation handle (or re-raise) the failure;
+                    # throw() resumes it and returns its next command.
+                    command = _check_command(operation.throw(exc))
+                else:
+                    command = _check_command(operation.send(result))
+        except StopIteration as stop:
+            return stop.value
+
+
+class SimExecutor:
+    """Runs a flash operation inside the DES.
+
+    ``run`` is itself a generator: use it from a DES process as
+    ``value = yield from executor.run(op)``.
+    """
+
+    def __init__(self, device: SimFlashDevice):
+        self.device = device
+        self.sim = device.sim
+
+    def run(self, operation: FlashOp):
+        try:
+            command = _check_command(operation.send(None))
+            while True:
+                try:
+                    result = yield from self.device.execute(command)
+                except FlashError as exc:
+                    command = _check_command(operation.throw(exc))
+                else:
+                    command = _check_command(operation.send(result))
+        except StopIteration as stop:
+            return stop.value

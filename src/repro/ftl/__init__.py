@@ -1,0 +1,34 @@
+"""On-device FTL baselines (and the shared page-mapped space that NoFTL
+reuses in the host).
+
+* :class:`PageMapFTL` — pure page-level mapping, fully cached (ideal);
+* :class:`DFTL` — demand-cached page mapping (Gupta et al., ASPLOS'09);
+* :class:`LazyFTL` — lazy batch-persisted page mapping (Ma et al.,
+  SIGMOD'11);
+* :class:`FASTer` — hybrid log-block mapping with second chance
+  (Lim et al., SNAPI'10);
+* :class:`BlockMapFTL` — classic block mapping (worst-case anchor).
+"""
+
+from .base import UNMAPPED, BaseFTL, BlockPool, FTLStats, MappingState, relocate_page
+from .blockmap import BlockMapFTL
+from .dftl import DFTL
+from .faster import FASTer
+from .lazyftl import LazyFTL
+from .pagemap import PageMapFTL
+from .pagespace import PageMappedSpace
+
+__all__ = [
+    "UNMAPPED",
+    "BaseFTL",
+    "BlockPool",
+    "FTLStats",
+    "MappingState",
+    "relocate_page",
+    "BlockMapFTL",
+    "DFTL",
+    "FASTer",
+    "LazyFTL",
+    "PageMapFTL",
+    "PageMappedSpace",
+]

@@ -1,0 +1,250 @@
+"""Common FTL machinery: the host-visible interface, I/O accounting,
+mapping state and free-block pools.
+
+All FTLs in this package (and the NoFTL storage manager built on the same
+parts) express flash access as command-yielding generators — see
+:mod:`repro.flash.executor`.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array as _array
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional
+
+from ..flash.commands import Copyback, ProgramPage, ReadPage
+from ..flash.geometry import Geometry
+
+__all__ = [
+    "FTLStats",
+    "BaseFTL",
+    "MappingState",
+    "BlockPool",
+    "relocate_page",
+    "UNMAPPED",
+]
+
+UNMAPPED = -1
+
+
+@dataclass
+class FTLStats:
+    """Counts every class of I/O an FTL causes.
+
+    ``gc_relocations`` is the number of valid pages moved by garbage
+    collection / merges, regardless of mechanism; ``gc_copybacks`` is the
+    subset done by COPYBACK (no bus transfer).  Together with ``erases``
+    these are exactly the two rows of the paper's Figure 3 table.
+    """
+
+    host_reads: int = 0
+    host_writes: int = 0
+    host_trims: int = 0
+    gc_relocations: int = 0
+    gc_copybacks: int = 0
+    gc_reads: int = 0
+    gc_programs: int = 0
+    gc_erases: int = 0
+    map_reads: int = 0       # DFTL: translation-page reads
+    map_programs: int = 0    # DFTL: translation-page programs
+    merges_full: int = 0     # FASTer
+    merges_switch: int = 0   # FASTer
+    merges_partial: int = 0  # FASTer
+    second_chances: int = 0  # FASTer isolation-area migrations
+    wl_moves: int = 0
+    grown_bad_blocks: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_relocation_ios(self) -> int:
+        """All page movements caused by maintenance, in copyback units."""
+        return self.gc_relocations
+
+    @property
+    def write_amplification(self) -> float:
+        """(host + maintenance page programs) / host page programs."""
+        if self.host_writes == 0:
+            return 0.0
+        moved = self.gc_relocations + self.map_programs
+        return (self.host_writes + moved) / self.host_writes
+
+    def snapshot(self) -> dict:
+        data = {
+            name: getattr(self, name)
+            for name in (
+                "host_reads", "host_writes", "host_trims",
+                "gc_relocations", "gc_copybacks", "gc_reads", "gc_programs",
+                "gc_erases", "map_reads", "map_programs",
+                "merges_full", "merges_switch", "merges_partial",
+                "second_chances", "wl_moves", "grown_bad_blocks",
+            )
+        }
+        data["write_amplification"] = self.write_amplification
+        return data
+
+
+class BaseFTL:
+    """Host-visible FTL interface: read / write / trim over logical pages.
+
+    Subclasses implement the three operations as flash-command generators.
+    ``logical_pages`` is the exported logical address space — total flash
+    minus over-provisioning.
+    """
+
+    def __init__(self, geometry: Geometry, op_ratio: float = 0.1):
+        if not 0.0 < op_ratio < 0.9:
+            raise ValueError(f"op_ratio must be in (0, 0.9), got {op_ratio}")
+        self.geometry = geometry
+        self.op_ratio = op_ratio
+        self.logical_pages = int(geometry.total_pages * (1.0 - op_ratio))
+        self.stats = FTLStats()
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(
+                f"lpn {lpn} outside logical space 0..{self.logical_pages - 1}"
+            )
+
+    def read(self, lpn: int):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def write(self, lpn: int, data=None):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def trim(self, lpn: int):
+        """Deallocation hint; base implementation ignores it (black-box
+        SSDs of the paper's era commonly did).  Yields nothing."""
+        self._check_lpn(lpn)
+        self.stats.host_trims += 1
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class MappingState:
+    """Page-level mapping tables plus validity bookkeeping.
+
+    One instance is shared by all allocation domains (planes / regions) of
+    a page-mapped space:
+
+    * ``l2p``: logical -> physical page (UNMAPPED when never written);
+    * ``p2l``: physical -> logical (UNMAPPED when the page is invalid);
+    * ``valid_in_block``: number of valid pages per physical block;
+    * ``block_write_time``: logical timestamp of each block's last program
+      (for cost-benefit GC).
+    """
+
+    def __init__(self, geometry: Geometry, logical_pages: int):
+        self.geometry = geometry
+        self.logical_pages = logical_pages
+        self.l2p = _array("q", [UNMAPPED]) * logical_pages
+        self.p2l = _array("q", [UNMAPPED]) * geometry.total_pages
+        self.valid_in_block = _array("l", [0]) * geometry.total_blocks
+        self.block_write_time = _array("q", [0]) * geometry.total_blocks
+        self.clock = 0
+
+    def lookup(self, lpn: int) -> int:
+        return self.l2p[lpn]
+
+    def bind(self, lpn: int, ppn: int) -> None:
+        """Point ``lpn`` at ``ppn``, invalidating any previous location."""
+        old = self.l2p[lpn]
+        if old != UNMAPPED:
+            self.invalidate_ppn(old)
+        self.l2p[lpn] = ppn
+        self.p2l[ppn] = lpn
+        pbn = self.geometry.block_of_ppn(ppn)
+        self.valid_in_block[pbn] += 1
+        self.clock += 1
+        self.block_write_time[pbn] = self.clock
+
+    def unbind(self, lpn: int) -> None:
+        """Drop the mapping entirely (trim)."""
+        old = self.l2p[lpn]
+        if old != UNMAPPED:
+            self.invalidate_ppn(old)
+            self.l2p[lpn] = UNMAPPED
+
+    def invalidate_ppn(self, ppn: int) -> None:
+        if self.p2l[ppn] == UNMAPPED:
+            raise ValueError(f"double invalidation of ppn {ppn}")
+        self.p2l[ppn] = UNMAPPED
+        pbn = self.geometry.block_of_ppn(ppn)
+        if self.valid_in_block[pbn] <= 0:
+            raise ValueError(f"valid count underflow on block {pbn}")
+        self.valid_in_block[pbn] -= 1
+
+    def valid_lpns_of_block(self, pbn: int) -> List[tuple]:
+        """(page_offset, lpn) pairs still valid inside ``pbn``."""
+        base = pbn * self.geometry.pages_per_block
+        result = []
+        for offset in range(self.geometry.pages_per_block):
+            lpn = self.p2l[base + offset]
+            if lpn != UNMAPPED:
+                result.append((offset, lpn))
+        return result
+
+    def total_valid(self) -> int:
+        return sum(self.valid_in_block)
+
+
+class BlockPool:
+    """Free-block pool of one allocation domain (typically one plane).
+
+    FIFO reuse spreads erases across blocks, which is itself a mild form
+    of dynamic wear leveling.
+    """
+
+    def __init__(self, blocks: Iterable[int]):
+        self._free: Deque[int] = deque(blocks)
+        self._initial = len(self._free)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    @property
+    def initial_size(self) -> int:
+        return self._initial
+
+    def take(self) -> int:
+        if not self._free:
+            raise RuntimeError("block pool exhausted (GC failed to keep up)")
+        return self._free.popleft()
+
+    def give(self, pbn: int) -> None:
+        self._free.append(pbn)
+
+    def remove(self, pbn: int) -> bool:
+        """Drop a specific block from the pool (grown bad block)."""
+        try:
+            self._free.remove(pbn)
+            return True
+        except ValueError:
+            return False
+
+    def peek_free(self) -> List[int]:
+        return list(self._free)
+
+
+def relocate_page(geometry: Geometry, src_ppn: int, dst_ppn: int,
+                  stats: FTLStats, oob=None):
+    """Move one valid page, preferring COPYBACK when planes match.
+
+    A flash-command generator; returns nothing.  Updates the relocation
+    counters that Figure 3 reports.
+    """
+    stats.gc_relocations += 1
+    if geometry.same_plane(src_ppn, dst_ppn):
+        stats.gc_copybacks += 1
+        yield Copyback(src_ppn=src_ppn, dst_ppn=dst_ppn, oob=oob)
+    else:
+        stats.gc_reads += 1
+        stats.gc_programs += 1
+        result = yield ReadPage(ppn=src_ppn)
+        yield ProgramPage(ppn=dst_ppn, data=result.data,
+                          oob=oob if oob is not None else result.oob)

@@ -1,0 +1,112 @@
+"""Classic block-mapping FTL — the historical worst-case baseline.
+
+One mapping entry per *logical block*; a page update that cannot append in
+place forces a read-modify-write of the whole block.  Kept as the lower
+anchor of the FTL spectrum the related-work section spans (page-, block-
+and hybrid-mapping FTLs).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional
+
+from ..flash.commands import EraseBlock, ProgramPage, ReadPage
+from ..flash.errors import BlockWornOut
+from ..flash.geometry import Geometry
+from .base import UNMAPPED, BaseFTL, relocate_page
+
+__all__ = ["BlockMapFTL"]
+
+
+class BlockMapFTL(BaseFTL):
+    """lbn -> pbn mapping with read-modify-write on out-of-order updates."""
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        op_ratio: float = 0.1,
+        bad_blocks: Iterable[int] = (),
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(geometry, op_ratio)
+        pages_per_block = geometry.pages_per_block
+        # Export whole blocks only.
+        self.logical_blocks = self.logical_pages // pages_per_block
+        self.logical_pages = self.logical_blocks * pages_per_block
+        bad = set(bad_blocks)
+        self._free: Deque[int] = deque(
+            pbn for pbn in range(geometry.total_blocks) if pbn not in bad
+        )
+        self._rng = rng or random.Random(0)
+        self.block_map: Dict[int, int] = {}
+        # High-water mark of programmed pages per mapped physical block;
+        # pages below it hold data (valid unless rewritten => whole-block RMW).
+        self._fill: Dict[int, int] = {}
+        # Per-page written bitmap per lbn (a page may be skipped).
+        self._written: Dict[int, set] = {}
+
+    def read(self, lpn: int):
+        self._check_lpn(lpn)
+        self.stats.host_reads += 1
+        lbn, offset = divmod(lpn, self.geometry.pages_per_block)
+        pbn = self.block_map.get(lbn, UNMAPPED)
+        if pbn == UNMAPPED or offset not in self._written.get(lbn, ()):
+            return None
+        result = yield ReadPage(ppn=self.geometry.ppn_of(pbn, offset))
+        return result.data
+
+    def write(self, lpn: int, data=None):
+        self._check_lpn(lpn)
+        self.stats.host_writes += 1
+        lbn, offset = divmod(lpn, self.geometry.pages_per_block)
+        pbn = self.block_map.get(lbn, UNMAPPED)
+        if pbn == UNMAPPED:
+            pbn = self._take_block()
+            self.block_map[lbn] = pbn
+            self._fill[lbn] = 0
+            self._written[lbn] = set()
+        if offset >= self._fill[lbn]:
+            # Appending in ascending order is allowed in place.
+            yield ProgramPage(ppn=self.geometry.ppn_of(pbn, offset),
+                              data=data, oob={"lpn": lpn})
+            self._fill[lbn] = offset + 1
+            self._written[lbn].add(offset)
+            return
+        # Rewrite below the high-water mark: whole-block read-modify-write.
+        yield from self._rewrite_block(lbn, pbn, offset, data)
+
+    def _rewrite_block(self, lbn: int, old_pbn: int, offset: int, data):
+        new_pbn = self._take_block()
+        written = self._written[lbn]
+        new_written = set()
+        high = 0
+        for page in range(self.geometry.pages_per_block):
+            dst = self.geometry.ppn_of(new_pbn, page)
+            if page == offset:
+                yield ProgramPage(ppn=dst, data=data, oob={"lpn": lbn * self.geometry.pages_per_block + page})
+                new_written.add(page)
+                high = page + 1
+            elif page in written:
+                src = self.geometry.ppn_of(old_pbn, page)
+                yield from relocate_page(self.geometry, src, dst, self.stats)
+                new_written.add(page)
+                high = page + 1
+        self.block_map[lbn] = new_pbn
+        self._written[lbn] = new_written
+        self._fill[lbn] = high
+        try:
+            yield EraseBlock(pbn=old_pbn)
+            self.stats.gc_erases += 1
+            self._free.append(old_pbn)
+        except BlockWornOut:
+            self.stats.grown_bad_blocks += 1
+
+    def _take_block(self) -> int:
+        if not self._free:
+            raise RuntimeError("block-map FTL out of free blocks")
+        return self._free.popleft()
+
+    def is_fast_read(self, lpn: int) -> bool:
+        return True

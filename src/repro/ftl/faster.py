@@ -1,0 +1,488 @@
+"""FASTer: hybrid log-block FTL with a second-chance isolation area
+(Lim, Lee, Moon — SNAPI 2010), descendant of FAST.
+
+Layout:
+
+* **data area** — block-level mapped (``lbn -> pbn``); pages sit at their
+  in-block offset, so fresh data can append in place;
+* **SW log block** — one dedicated block absorbing sequential rewrites of
+  a single logical block; completed sequences retire by *switch merge*
+  (pointer swap + one erase), interrupted ones by *partial merge*;
+* **RW log area** — page-mapped log blocks written append-only in
+  round-robin; reclaimed FIFO.
+
+FASTer's contribution over FAST is the *second chance*: when the oldest
+log block is reclaimed, still-valid pages that have not yet had a second
+chance are migrated to the log tail instead of forcing full merges —
+hot pages usually die before their second eviction.  Pages caught a
+second time force the expensive **full merge** of their logical block:
+gather the newest version of every page of the block (from data area +
+log) into a freshly allocated block.
+
+Those merges are the copyback/erase traffic that the paper's Figure 3
+counts: roughly 2x the copybacks and 1.7-1.8x the erases of NoFTL under
+TPC traces.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Set
+
+from ..flash.commands import EraseBlock, Pause, ProgramPage, ReadPage
+from ..flash.errors import BlockWornOut
+from ..flash.geometry import Geometry
+from .base import BaseFTL, relocate_page
+
+__all__ = ["FASTer"]
+
+
+class FASTer(BaseFTL):
+    """Hybrid mapping FTL with FASTer's isolation/second-chance policy.
+
+    Parameters
+    ----------
+    log_fraction
+        Fraction of physical blocks dedicated to the RW log area.
+    second_chance
+        Enable the FASTer policy; with False this degrades to plain FAST
+        (every reclaim merges immediately).
+    migration_cap_fraction
+        A reclaim migrates at most this fraction of a log block's pages;
+        beyond it, remaining valid pages are merged (bounds the isolation
+        area's growth, as in the original paper).
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        op_ratio: float = 0.1,
+        log_fraction: float = 0.07,
+        second_chance: bool = True,
+        migration_cap_fraction: float = 0.75,
+        use_sw_log: bool = True,
+        log_stripes: int = 4,
+        bad_blocks: Iterable[int] = (),
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(geometry, op_ratio)
+        if not 0.0 < log_fraction < 0.5:
+            raise ValueError("log_fraction must be in (0, 0.5)")
+        if not 0.0 <= migration_cap_fraction <= 1.0:
+            raise ValueError("migration_cap_fraction must be in [0, 1]")
+        pages_per_block = geometry.pages_per_block
+        self.logical_blocks = self.logical_pages // pages_per_block
+        self.logical_pages = self.logical_blocks * pages_per_block
+        self.second_chance = second_chance
+        self.migration_cap = migration_cap_fraction
+        self.use_sw_log = use_sw_log
+        self._rng = rng or random.Random(0)
+
+        bad = set(bad_blocks)
+        good_blocks = [
+            pbn for pbn in range(geometry.total_blocks) if pbn not in bad
+        ]
+        self._free: Deque[int] = deque(good_blocks)
+        if log_stripes < 1:
+            raise ValueError("log_stripes must be >= 1")
+        # Bank-striped log tails, as on the OpenSSD firmware: appends
+        # round-robin over several active log blocks so log writes exploit
+        # die parallelism (a single tail would serialize at one die).
+        self.log_stripes = log_stripes
+        self.log_blocks_max = max(2 + log_stripes,
+                                  int(len(good_blocks) * log_fraction))
+
+        # data area
+        self.block_map: Dict[int, int] = {}
+        self._data_fill: Dict[int, int] = {}     # lbn -> high-water offset
+        self._data_written: Dict[int, Set[int]] = {}
+
+        # RW log area
+        self._log_order: Deque[int] = deque()    # full log blocks, FIFO
+        # stripe -> [pbn, next_offset] or None
+        self._active_logs: List[Optional[list]] = [None] * log_stripes
+        self._stripe_rr = 0
+        self._log_map: Dict[int, int] = {}       # lpn -> newest log ppn
+        self._log_block_entries: Dict[int, List] = {}  # pbn -> [(off, lpn)]
+        self._second_chanced: Set[int] = set()
+
+        # SW log block
+        self._sw_lbn: Optional[int] = None
+        self._sw_pbn: Optional[int] = None
+        self._sw_fill = 0
+
+        self._reclaiming = False
+        # Logical blocks currently being merged: concurrent host writes to
+        # them are diverted to the log so the merge cannot lose them.
+        self._merging: Set[int] = set()
+
+    # -- host interface ---------------------------------------------------------
+
+    def read(self, lpn: int):
+        self._check_lpn(lpn)
+        self.stats.host_reads += 1
+        ppn = self._newest_ppn(lpn)
+        if ppn is None:
+            return None
+        result = yield ReadPage(ppn=ppn)
+        return result.data
+
+    def write(self, lpn: int, data=None):
+        self._check_lpn(lpn)
+        self.stats.host_writes += 1
+        pages_per_block = self.geometry.pages_per_block
+        lbn, offset = divmod(lpn, pages_per_block)
+
+        if self.use_sw_log:
+            if lbn == self._sw_lbn:
+                if offset == self._sw_fill:
+                    yield from self._sw_append(lbn, offset, data)
+                    return
+                # Sequence broken: retire the SW block before the write
+                # takes the normal path, so no stale SW copy survives.
+                yield from self._sw_retire(partial=True)
+            if offset == 0 and self._can_write_in_place(lbn, offset) is False:
+                # A rewrite starting at offset 0: open a fresh SW sequence.
+                yield from self._sw_start(lbn, data)
+                return
+
+        if self._can_write_in_place(lbn, offset):
+            yield from self._write_in_place(lbn, offset, data)
+            return
+        yield from self._log_append(lpn, data)
+
+    def is_fast_read(self, lpn: int) -> bool:
+        return True  # reads never mutate FASTer metadata
+
+    # -- data-area path -----------------------------------------------------------
+
+    def _can_write_in_place(self, lbn: int, offset: int) -> bool:
+        """True when the page can append at its home offset (fresh block
+        or ascending first-writes).  Blocks under merge are excluded —
+        concurrent writes must go to the log or the merge would lose
+        them."""
+        if lbn in self._merging:
+            return False
+        if lbn not in self.block_map:
+            return True
+        return offset >= self._data_fill[lbn]
+
+    def _write_in_place(self, lbn: int, offset: int, data):
+        if lbn not in self.block_map:
+            self.block_map[lbn] = self._take_block()
+            self._data_fill[lbn] = 0
+            self._data_written[lbn] = set()
+        pbn = self.block_map[lbn]
+        lpn = lbn * self.geometry.pages_per_block + offset
+        # Claim the slot and retire any older log version *before*
+        # yielding: concurrent writers and merges must see the raised
+        # fill / written set immediately, and a *newer* log version bound
+        # by a concurrent writer after this point must survive (it would
+        # be wrongly deleted if we invalidated after the program).  The
+        # die's FIFO guarantees our program lands before any read that
+        # the new state routes here.
+        self._data_fill[lbn] = max(self._data_fill[lbn], offset + 1)
+        self._data_written[lbn].add(offset)
+        self._invalidate_log_entry(lpn)
+        yield ProgramPage(ppn=self.geometry.ppn_of(pbn, offset),
+                          data=data, oob={"lpn": lpn})
+
+    # -- SW log path -----------------------------------------------------------------
+
+    def _sw_start(self, lbn: int, data):
+        if self._sw_lbn is not None:
+            yield from self._sw_retire(partial=True)
+        self._sw_lbn = lbn
+        self._sw_pbn = self._take_block()
+        self._sw_fill = 0
+        yield from self._sw_append(lbn, 0, data)
+
+    def _sw_append(self, lbn: int, offset: int, data):
+        lpn = lbn * self.geometry.pages_per_block + offset
+        # Claim + invalidate before yielding (see _write_in_place).
+        self._sw_fill = offset + 1
+        self._invalidate_log_entry(lpn)
+        yield ProgramPage(ppn=self.geometry.ppn_of(self._sw_pbn, offset),
+                          data=data, oob={"lpn": lpn})
+        if self._sw_fill == self.geometry.pages_per_block:
+            yield from self._sw_retire(partial=False)
+
+    def _sw_retire(self, partial: bool):
+        """Switch merge (complete sequence) or partial merge (interrupted):
+        promote the SW block to data block."""
+        lbn, pbn = self._sw_lbn, self._sw_pbn
+        fill = self._sw_fill
+        self._sw_lbn = self._sw_pbn = None
+        self._sw_fill = 0
+        written = set(range(fill))
+        old_pbn = self.block_map.get(lbn)
+        if partial and old_pbn is not None:
+            self.stats.merges_partial += 1
+            # Fill the tail of the SW block from the newest versions.
+            old_written = self._data_written[lbn]
+            consumed = []
+            for offset in range(fill, self.geometry.pages_per_block):
+                lpn = lbn * self.geometry.pages_per_block + offset
+                from_log = lpn in self._log_map
+                src = self._log_map.get(lpn)
+                if src is None and offset in old_written:
+                    src = self.geometry.ppn_of(old_pbn, offset)
+                if src is None:
+                    continue
+                dst = self.geometry.ppn_of(pbn, offset)
+                yield from relocate_page(self.geometry, src, dst, self.stats,
+                                         oob={"lpn": lpn})
+                if from_log:
+                    consumed.append((lpn, src))
+                written.add(offset)
+        else:
+            consumed = []
+            self.stats.merges_switch += 1
+        # New block first, then retire log entries (see _full_merge_locked).
+        self.block_map[lbn] = pbn
+        self._data_fill[lbn] = (max(written) + 1) if written else 0
+        self._data_written[lbn] = written
+        for lpn, src in consumed:
+            if self._log_map.get(lpn) == src:
+                self._consume_log_entry(lpn)
+        if old_pbn is not None:
+            yield from self._erase_block(old_pbn)
+
+    # -- RW log path --------------------------------------------------------------------
+
+    def _log_append(self, lpn: int, data):
+        """Append one host page version at the log tail.
+
+        The slot allocation, mapping update and program issue form one
+        atomic (yield-free) section, so concurrent appenders can never
+        program a log block out of ascending order, and issue order
+        equals mapping order.
+        """
+        ppn = yield from self._log_slot()
+        pbn = self.geometry.block_of_ppn(ppn)
+        offset = self.geometry.page_offset_of_ppn(ppn)
+        self._invalidate_log_entry(lpn)
+        self._log_map[lpn] = ppn
+        self._log_block_entries[pbn].append((offset, lpn))
+        yield ProgramPage(ppn=ppn, data=data, oob={"lpn": lpn})
+
+    def _log_slot(self, for_migration: bool = False):
+        """Generator: next free log page (round-robin over the stripes).
+
+        A stripe's new block is allocated *before* reclaiming (briefly
+        exceeding the log budget) because second-chance migrations
+        performed during the reclaim themselves append to the log.
+        Reclaim is guarded against re-entry; if the budget is badly
+        over-run while a reclaim is already in flight (heavy concurrent
+        writers), host appenders back off with :class:`Pause` commands
+        until the reclaimer frees space — the firmware's backpressure.
+        The reclaimer's own migration appends (``for_migration``) are
+        exempt, or they would deadlock against their own reclaim.
+        """
+        pages_per_block = self.geometry.pages_per_block
+        stripe = self._stripe_rr % self.log_stripes
+        self._stripe_rr += 1
+        while True:
+            active = self._active_logs[stripe]
+            if active is not None and active[1] < pages_per_block:
+                break
+            if active is not None:
+                self._log_order.append(active[0])
+                self._active_logs[stripe] = None
+            over_budget = (len(self._log_order) + self.log_stripes
+                           > self.log_blocks_max)
+            if over_budget and self._reclaiming and not for_migration:
+                hard_over = (len(self._log_order)
+                             > self.log_blocks_max + 2 * self.log_stripes)
+                if hard_over:
+                    yield Pause(duration_us=200.0)
+                    continue
+            pbn = self._take_block()
+            self._log_block_entries[pbn] = []
+            self._active_logs[stripe] = [pbn, 0]
+            if over_budget and not self._reclaiming:
+                self._reclaiming = True
+                try:
+                    while (len(self._log_order) + self.log_stripes
+                           > self.log_blocks_max):
+                        yield from self._reclaim_oldest_log_block()
+                finally:
+                    self._reclaiming = False
+        active = self._active_logs[stripe]
+        ppn = self.geometry.ppn_of(active[0], active[1])
+        active[1] += 1
+        return ppn
+
+    def _reclaim_oldest_log_block(self):
+        victim = self._log_order.popleft()
+        entries = self._log_block_entries.pop(victim, [])
+        valid = [
+            (offset, lpn)
+            for offset, lpn in entries
+            if self._log_map.get(lpn) == self.geometry.ppn_of(victim, offset)
+        ]
+        migrate: List = []
+        merge_lpns: List[int] = []
+        # Under heavy pressure the isolation area must not grow further:
+        # degrade to plain FAST (merge everything) until the log drains.
+        pressure = len(self._log_order) > self.log_blocks_max + self.log_stripes
+        if self.second_chance and not pressure:
+            cap = int(self.migration_cap * self.geometry.pages_per_block)
+            for offset, lpn in valid:
+                if lpn not in self._second_chanced and len(migrate) < cap:
+                    migrate.append((offset, lpn))
+                else:
+                    merge_lpns.append(lpn)
+        else:
+            merge_lpns = [lpn for __, lpn in valid]
+
+        # Full merges first: they consume log entries in *other* blocks too.
+        for lbn in sorted({lpn // self.geometry.pages_per_block
+                           for lpn in merge_lpns}):
+            yield from self._full_merge(lbn)
+
+        for offset, lpn in migrate:
+            src = self.geometry.ppn_of(victim, offset)
+            if self._log_map.get(lpn) != src:
+                continue  # consumed by a merge above
+            self.stats.second_chances += 1
+            # Read the payload first (a yield), then allocate + bind +
+            # program atomically so concurrent appenders keep the log
+            # block's program order ascending.
+            self.stats.gc_relocations += 1
+            self.stats.gc_reads += 1
+            result = yield ReadPage(ppn=src)
+            if self._log_map.get(lpn) != src:
+                continue  # a fresher host version landed mid-read
+            dst = yield from self._log_slot(for_migration=True)
+            dst_pbn = self.geometry.block_of_ppn(dst)
+            dst_offset = self.geometry.page_offset_of_ppn(dst)
+            self._invalidate_log_entry(lpn)
+            self._log_map[lpn] = dst
+            self._log_block_entries[dst_pbn].append((dst_offset, lpn))
+            self._second_chanced.add(lpn)
+            self.stats.gc_programs += 1
+            yield ProgramPage(ppn=dst, data=result.data, oob={"lpn": lpn})
+
+        # The victim may still hold valid pages whose logical block is
+        # being merged by a concurrent operation (we skipped those merges
+        # above).  Erasing now would destroy data that merge still reads:
+        # defer the victim instead and let the in-flight merge finish.
+        remaining = [
+            (offset, lpn)
+            for offset, lpn in entries
+            if self._log_map.get(lpn) == self.geometry.ppn_of(victim, offset)
+        ]
+        if remaining:
+            self._log_block_entries[victim] = entries
+            self._log_order.appendleft(victim)
+            yield Pause(duration_us=50.0)  # let the other merge progress
+            return
+        yield from self._erase_block(victim)
+
+    def _full_merge(self, lbn: int):
+        """Gather the newest version of every page of ``lbn`` into a fresh
+        block — the expensive operation FASTer tries to avoid."""
+        self.stats.merges_full += 1
+        if lbn in self._merging:
+            return  # a concurrent reclaim is already merging this block
+        self._merging.add(lbn)
+        try:
+            yield from self._full_merge_locked(lbn)
+        finally:
+            self._merging.discard(lbn)
+
+    def _full_merge_locked(self, lbn: int):
+        pages_per_block = self.geometry.pages_per_block
+        old_pbn = self.block_map.get(lbn)
+        prefer_plane = None
+        if old_pbn is not None:
+            prefer_plane = (self.geometry.die_of_block(old_pbn),
+                            self.geometry.plane_of_block(old_pbn))
+        new_pbn = self._take_block(prefer_plane)
+        written: Set[int] = set()
+        old_written = self._data_written.get(lbn, set())
+        consumed = []
+        for offset in range(pages_per_block):
+            lpn = lbn * pages_per_block + offset
+            from_log = lpn in self._log_map
+            src = self._log_map.get(lpn)
+            if src is None and old_pbn is not None and offset in old_written:
+                src = self.geometry.ppn_of(old_pbn, offset)
+            if src is None:
+                continue
+            dst = self.geometry.ppn_of(new_pbn, offset)
+            yield from relocate_page(self.geometry, src, dst, self.stats,
+                                     oob={"lpn": lpn})
+            if from_log:
+                consumed.append((lpn, src))
+            written.add(offset)
+        # Install the new block *first*, then retire the consumed log
+        # entries — removing an entry while block_map still points at the
+        # old block would expose stale data to concurrent readers.  Each
+        # retire re-checks that no newer host version replaced the entry.
+        self.block_map[lbn] = new_pbn
+        self._data_written[lbn] = written
+        self._data_fill[lbn] = (max(written) + 1) if written else 0
+        for lpn, src in consumed:
+            if self._log_map.get(lpn) == src:
+                self._consume_log_entry(lpn)
+        if old_pbn is not None:
+            yield from self._erase_block(old_pbn)
+
+    # -- shared helpers ---------------------------------------------------------------
+
+    def _newest_ppn(self, lpn: int) -> Optional[int]:
+        pages_per_block = self.geometry.pages_per_block
+        lbn, offset = divmod(lpn, pages_per_block)
+        if self._sw_lbn == lbn and offset < self._sw_fill:
+            return self.geometry.ppn_of(self._sw_pbn, offset)
+        ppn = self._log_map.get(lpn)
+        if ppn is not None:
+            return ppn
+        pbn = self.block_map.get(lbn)
+        if pbn is not None and offset in self._data_written.get(lbn, ()):
+            return self.geometry.ppn_of(pbn, offset)
+        return None
+
+    def _invalidate_log_entry(self, lpn: int) -> None:
+        if lpn in self._log_map:
+            del self._log_map[lpn]
+        self._second_chanced.discard(lpn)
+
+    def _consume_log_entry(self, lpn: int) -> None:
+        self._log_map.pop(lpn, None)
+        self._second_chanced.discard(lpn)
+
+    def _take_block(self, prefer_plane=None) -> int:
+        if not self._free:
+            raise RuntimeError("FASTer out of free blocks")
+        if prefer_plane is not None:
+            for index, pbn in enumerate(self._free):
+                plane = (self.geometry.die_of_block(pbn),
+                         self.geometry.plane_of_block(pbn))
+                if plane == prefer_plane:
+                    del self._free[index]
+                    return pbn
+        return self._free.popleft()
+
+    def _erase_block(self, pbn: int):
+        try:
+            yield EraseBlock(pbn=pbn)
+        except BlockWornOut:
+            self.stats.grown_bad_blocks += 1
+            return
+        self.stats.gc_erases += 1
+        self._free.append(pbn)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def log_occupancy(self) -> dict:
+        active = sum(1 for entry in self._active_logs if entry is not None)
+        return {
+            "log_blocks": len(self._log_order) + active,
+            "log_blocks_max": self.log_blocks_max,
+            "live_log_entries": len(self._log_map),
+            "second_chanced": len(self._second_chanced),
+        }

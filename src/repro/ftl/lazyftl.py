@@ -1,0 +1,224 @@
+"""LazyFTL: page-level mapping with lazy batch-persisted translation
+updates (Ma, Feng, Li — SIGMOD 2011).
+
+The paper's Section 3.1 names LazyFTL, next to DFTL, as state-of-the-art
+page-level mapping under device RAM pressure.  Where DFTL pays a
+translation-page read-modify-write whenever a dirty mapping falls out of
+its cache, LazyFTL keeps the *recent* mappings in a small in-RAM update
+table (UMT) and persists them in batches, grouped by translation page —
+amortizing the mapping I/O that makes DFTL slow:
+
+* host writes land in update blocks; their mappings go to the UMT
+  (RAM only, no flash I/O);
+* when the UMT outgrows its budget, the oldest entries are flushed in
+  one pass: one translation-page read-modify-write per *translation
+  page*, not per mapping;
+* GC relocations also just touch the UMT — persistence stays lazy;
+* reads consult the UMT first; misses read the on-flash translation
+  page (cached clean, like DFTL's CMT, since reads must still find
+  cold mappings).
+
+Shares the allocation/GC engine and the extended-logical-space encoding
+of translation pages with :class:`~repro.ftl.dftl.DFTL`, so the two
+differ only in their mapping-persistence policy — exactly the comparison
+the literature draws.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Tuple
+
+from ..flash.commands import ReadPage
+from ..flash.geometry import Geometry
+from .base import UNMAPPED, BaseFTL, MappingState
+from .pagespace import PageMappedSpace
+
+__all__ = ["LazyFTL"]
+
+
+class LazyFTL(BaseFTL):
+    """Page-mapping FTL with lazy, batched translation persistence.
+
+    Parameters
+    ----------
+    umt_entries
+        Budget of the in-RAM update mapping table.  When exceeded, the
+        whole table is flushed batch-wise (grouped per translation page).
+    read_cache_entries
+        Clean mapping cache for reads (misses cost one TP read).
+    entries_per_translation_page
+        Mapping slots per translation page.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        op_ratio: float = 0.1,
+        umt_entries: int = 2048,
+        read_cache_entries: int = 2048,
+        entries_per_translation_page: Optional[int] = None,
+        gc_policy: str = "greedy",
+        gc_low_water: int = 2,
+        bad_blocks: Iterable[int] = (),
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(geometry, op_ratio)
+        if umt_entries < 1 or read_cache_entries < 1:
+            raise ValueError("cache budgets must be >= 1")
+        self.umt_entries = umt_entries
+        self.read_cache_entries = read_cache_entries
+        if entries_per_translation_page is None:
+            entries_per_translation_page = max(1, geometry.page_bytes // 8)
+        self.entries_per_tp = entries_per_translation_page
+        self.num_tvpns = -(-self.logical_pages // self.entries_per_tp)
+
+        extended = self.logical_pages + self.num_tvpns
+        self.mapping = MappingState(geometry, extended)
+        planes = [
+            (die, plane)
+            for die in range(geometry.total_dies)
+            for plane in range(geometry.planes_per_die)
+        ]
+        self.space = PageMappedSpace(
+            geometry,
+            self.mapping,
+            planes,
+            self.stats,
+            gc_policy=gc_policy,
+            gc_low_water=gc_low_water,
+            separate_streams=True,
+            bad_blocks=bad_blocks,
+            rng=rng,
+        )
+        self.space.rebind_hook = self._gc_rebind
+
+        # Update Mapping Table: lpns whose newest mapping is RAM-only.
+        self._umt: "OrderedDict[int, bool]" = OrderedDict()
+        # Clean read cache: lpn -> True (presence means "mapping known
+        # without flash I/O"; the authoritative ppn is in self.mapping).
+        self._read_cache: "OrderedDict[int, bool]" = OrderedDict()
+        self._flushing = False
+        self.umt_flushes = 0
+        self.read_cache_hits = 0
+        self.read_cache_misses = 0
+
+    # -- address helpers -------------------------------------------------------
+
+    def _tvpn_of(self, lpn: int) -> int:
+        return lpn // self.entries_per_tp
+
+    def _tp_lpn(self, tvpn: int) -> int:
+        return self.logical_pages + tvpn
+
+    def _tp_exists(self, tvpn: int) -> bool:
+        return self.mapping.lookup(self._tp_lpn(tvpn)) != UNMAPPED
+
+    # -- host interface ----------------------------------------------------------
+
+    def read(self, lpn: int):
+        self._check_lpn(lpn)
+        self.stats.host_reads += 1
+        if lpn in self._umt or lpn in self._read_cache:
+            self.read_cache_hits += 1
+            if lpn in self._read_cache:
+                self._read_cache.move_to_end(lpn)
+        else:
+            self.read_cache_misses += 1
+            tvpn = self._tvpn_of(lpn)
+            if self._tp_exists(tvpn):
+                self.stats.map_reads += 1
+                yield ReadPage(ppn=self.mapping.lookup(self._tp_lpn(tvpn)))
+            self._cache_clean(lpn)
+        ppn = self.mapping.lookup(lpn)
+        if ppn == UNMAPPED:
+            return None
+        result = yield ReadPage(ppn=ppn)
+        return result.data
+
+    def write(self, lpn: int, data=None):
+        self._check_lpn(lpn)
+        self.stats.host_writes += 1
+        yield from self.space.write(lpn, data)
+        self._note_update(lpn)
+        yield from self._maybe_flush_umt()
+
+    def trim(self, lpn: int):
+        self._check_lpn(lpn)
+        self.stats.host_trims += 1
+        if self.mapping.lookup(lpn) != UNMAPPED:
+            self.mapping.unbind(lpn)
+            self._note_update(lpn)
+            yield from self._maybe_flush_umt()
+
+    def is_fast_read(self, lpn: int) -> bool:
+        return lpn in self._umt or lpn in self._read_cache
+
+    # -- lazy persistence machinery ------------------------------------------------
+
+    def _note_update(self, lpn: int) -> None:
+        self._umt[lpn] = True
+        self._umt.move_to_end(lpn)
+
+    def _cache_clean(self, lpn: int) -> None:
+        self._read_cache[lpn] = True
+        while len(self._read_cache) > self.read_cache_entries:
+            self._read_cache.popitem(last=False)
+
+    def _maybe_flush_umt(self):
+        """Generator: batch-persist when the UMT exceeds its budget.
+
+        All pending mappings are grouped by translation page; each group
+        costs one TP read-modify-write regardless of how many mappings it
+        carries — LazyFTL's amortization.
+        """
+        if len(self._umt) <= self.umt_entries or self._flushing:
+            return
+        self._flushing = True
+        try:
+            self.umt_flushes += 1
+            pending = list(self._umt.keys())
+            by_tvpn = {}
+            for lpn in pending:
+                by_tvpn.setdefault(self._tvpn_of(lpn), []).append(lpn)
+            for tvpn, lpns in sorted(by_tvpn.items()):
+                if self._tp_exists(tvpn):
+                    self.stats.map_reads += 1
+                    yield ReadPage(
+                        ppn=self.mapping.lookup(self._tp_lpn(tvpn)))
+                self.stats.map_programs += 1
+                yield from self.space.write(self._tp_lpn(tvpn),
+                                            data=("TP", tvpn))
+                for lpn in lpns:
+                    self._umt.pop(lpn, None)
+                    self._cache_clean(lpn)
+        finally:
+            self._flushing = False
+
+    # -- GC integration -------------------------------------------------------------
+
+    def _gc_rebind(self, moved: List[Tuple[int, int]]):
+        """Generator hook: GC moved pages — record lazily, no flash I/O
+        now (the defining difference from DFTL's eager write-back)."""
+        for lpn, __ in moved:
+            if lpn >= self.logical_pages:
+                continue  # translation page: GTD update, free
+            self._note_update(lpn)
+        yield from self._maybe_flush_umt()
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def umt_fill(self) -> int:
+        return len(self._umt)
+
+    def snapshot(self) -> dict:
+        data = self.stats.snapshot()
+        data.update({
+            "umt_fill": self.umt_fill,
+            "umt_flushes": self.umt_flushes,
+            "read_cache_hits": self.read_cache_hits,
+            "read_cache_misses": self.read_cache_misses,
+        })
+        return data

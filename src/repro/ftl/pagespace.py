@@ -1,0 +1,367 @@
+"""Page-mapped flash space: out-of-place allocation plus garbage collection
+over a set of planes.
+
+This is the engine behind both the pure page-level FTL
+(:class:`repro.ftl.pagemap.PageMapFTL` — the paper's on-device baseline)
+and the NoFTL storage manager (:mod:`repro.core`), which instantiates one
+space per physical *region* and drives it with DBMS knowledge (trim hints,
+hot/cold streams).
+
+Concurrency note (DES mode): writers into one space are expected to be
+serialized by the caller (the NoFTL region lock or the block device's
+controller mutex — the paper's "single ASIC controller").  Reads are pure
+lookups and may run concurrently.  GC nevertheless double-checks mappings
+before rebinding relocated pages, so a read-mostly race cannot lose data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..flash.commands import EraseBlock, Pause, ProgramPage, ReadPage
+from ..flash.errors import BlockWornOut
+from ..flash.geometry import Geometry
+from .base import UNMAPPED, BlockPool, FTLStats, MappingState, relocate_page
+
+__all__ = ["PageMappedSpace", "PlaneId"]
+
+#: (global die index, plane index within die)
+PlaneId = Tuple[int, int]
+
+_HOT = "hot"
+_COLD = "cold"
+
+
+class _Plane:
+    """Allocation state of one plane."""
+
+    def __init__(self, plane_id: PlaneId, blocks: Sequence[int],
+                 bad_blocks: Iterable[int]):
+        self.plane_id = plane_id
+        bad = set(bad_blocks)
+        self.pool = BlockPool(pbn for pbn in blocks if pbn not in bad)
+        self.occupied: set = set()
+        self.collecting: set = set()
+        # stream -> [pbn, next_offset]; None until first allocation
+        self.active: Dict[str, Optional[list]] = {_HOT: None, _COLD: None}
+        self.erases_since_wl = 0
+
+
+class PageMappedSpace:
+    """Out-of-place page allocation with greedy / cost-benefit GC.
+
+    Parameters
+    ----------
+    geometry, mapping
+        Device shape and the (shared) mapping tables.
+    planes
+        The planes this space allocates from.  Logical pages are striped
+        across them, so consecutive LPNs land on different dies.
+    stats
+        Counter sink (shared with the owning FTL / storage manager).
+    gc_policy
+        ``"greedy"`` (min valid pages) or ``"cost_benefit"``
+        (valid ratio weighted by block age, Rosenblum-style).
+    gc_low_water
+        GC runs while a plane's free-block pool is below this level.
+    separate_streams
+        When True, GC relocations go to a dedicated "cold" active block
+        per plane instead of mixing with host writes (hot/cold stream
+        separation — ablation E10).
+    wear_level_delta
+        Static wear-leveling trigger: when the erase-count spread inside a
+        plane exceeds this, the coldest occupied block is refreshed.
+        ``None`` disables.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        mapping: MappingState,
+        planes: Sequence[PlaneId],
+        stats: FTLStats,
+        gc_policy: str = "greedy",
+        gc_low_water: int = 2,
+        separate_streams: bool = True,
+        use_copyback: bool = True,
+        wear_level_delta: Optional[int] = None,
+        wear_level_check_every: int = 64,
+        bad_blocks: Iterable[int] = (),
+        placement_divisor: int = 1,
+        rng: Optional[random.Random] = None,
+    ):
+        if gc_policy not in ("greedy", "cost_benefit"):
+            raise ValueError(f"unknown gc_policy: {gc_policy!r}")
+        if gc_low_water < 2:
+            raise ValueError("gc_low_water must be >= 2 (GC needs a spare block)")
+        if not planes:
+            raise ValueError("a space needs at least one plane")
+        self.geometry = geometry
+        self.mapping = mapping
+        self.stats = stats
+        self.gc_policy = gc_policy
+        self.gc_low_water = gc_low_water
+        self.separate_streams = separate_streams
+        self.use_copyback = use_copyback
+        self.wear_level_delta = wear_level_delta
+        self.wear_level_check_every = wear_level_check_every
+        if placement_divisor < 1:
+            raise ValueError("placement_divisor must be >= 1")
+        self.placement_divisor = placement_divisor
+        self._rng = rng or random.Random(0)
+        bad = set(bad_blocks)
+        self._planes: Dict[PlaneId, _Plane] = {}
+        for plane_id in planes:
+            die, plane = plane_id
+            blocks = geometry.blocks_of_plane(die, plane)
+            self._planes[plane_id] = _Plane(plane_id, blocks, bad)
+        self.plane_ids: List[PlaneId] = list(planes)
+        #: Optional generator hook called after each collected block with the
+        #: list of (lpn, dst_ppn) pages it moved.  DFTL uses it to charge
+        #: translation-page maintenance for GC-relocated data pages.
+        self.rebind_hook = None
+        #: Optional plain callback invoked with the pbn of a block that wore
+        #: out during erase (NoFTL wires this to its bad-block manager).
+        self.on_grown_bad = None
+        # erase-count shadow (the host cannot see array internals; NoFTL
+        # tracks wear itself, which is exactly what the paper proposes)
+        self.erase_counts: Dict[int, int] = {}
+
+    # -- placement -----------------------------------------------------------------
+
+    def plane_of_lpn(self, lpn: int) -> PlaneId:
+        """Deterministic striping of logical pages across this space's
+        planes (die-wise striping when the planes span dies in order).
+
+        ``placement_divisor`` compensates for an outer striping level: a
+        region manager that routes ``lpn % n_regions`` to this space passes
+        ``n_regions`` so region-local pages still spread over all planes.
+        """
+        return self.plane_ids[
+            (lpn // self.placement_divisor) % len(self.plane_ids)
+        ]
+
+    def free_blocks(self, plane_id: PlaneId) -> int:
+        return len(self._planes[plane_id].pool)
+
+    def total_free_blocks(self) -> int:
+        return sum(len(plane.pool) for plane in self._planes.values())
+
+    # -- host operations -------------------------------------------------------------
+
+    def read(self, lpn: int):
+        """Generator: read the current version of ``lpn`` (None if never
+        written)."""
+        ppn = self.mapping.lookup(lpn)
+        if ppn == UNMAPPED:
+            return None
+        result = yield ReadPage(ppn=ppn)
+        return result.data
+
+    def write(self, lpn: int, data=None, stream: str = _HOT):
+        """Generator: write ``lpn`` out-of-place, GC-ing first if needed."""
+        plane_id = self.plane_of_lpn(lpn)
+        yield from self.ensure_space(plane_id)
+        ppn = self._allocate(plane_id, stream if self.separate_streams else _HOT)
+        # OOB carries the logical page number and a monotonically increasing
+        # sequence number, so a cold scan can rebuild the mapping (recovery).
+        oob = {"lpn": lpn, "seq": self.mapping.clock + 1}
+        yield ProgramPage(ppn=ppn, data=data, oob=oob)
+        self.mapping.bind(lpn, ppn)
+        return ppn
+
+    def trim(self, lpn: int) -> None:
+        """Host-side only — deallocating a page costs no flash I/O."""
+        self.mapping.unbind(lpn)
+
+    # -- allocation -------------------------------------------------------------------
+
+    def _allocate(self, plane_id: PlaneId, stream: str) -> int:
+        plane = self._planes[plane_id]
+        active = plane.active[stream]
+        if active is None or active[1] >= self.geometry.pages_per_block:
+            if active is not None:
+                plane.occupied.add(active[0])
+            pbn = plane.pool.take()
+            active = [pbn, 0]
+            plane.active[stream] = active
+        ppn = self.geometry.ppn_of(active[0], active[1])
+        active[1] += 1
+        return ppn
+
+    # -- garbage collection -------------------------------------------------------------
+
+    def ensure_space(self, plane_id: PlaneId):
+        """Generator: run GC until the plane has breathing room.
+
+        One collection per plane at a time: concurrent operations that
+        find a collection in flight back off with
+        :class:`~repro.flash.commands.Pause` instead of starting a second
+        victim — several parallel collections would drain the free pool
+        faster than erases replenish it.
+        """
+        plane = self._planes[plane_id]
+        attempts = 0
+        while len(plane.pool) < self.gc_low_water:
+            if plane.collecting:
+                yield Pause(duration_us=100.0)
+                attempts += 1
+                if attempts > 64 * plane.pool.initial_size:
+                    raise RuntimeError(
+                        f"plane {plane_id}: GC starvation while waiting"
+                    )
+                continue
+            victim = self._select_victim(plane)
+            if victim is None:
+                if len(plane.pool) == 0:
+                    raise RuntimeError(
+                        f"plane {plane_id}: no free blocks and no GC victim "
+                        "(over-provisioning too small?)"
+                    )
+                break
+            yield from self._collect(plane, victim)
+            attempts += 1
+            if attempts > 64 * plane.pool.initial_size:
+                raise RuntimeError(
+                    f"plane {plane_id}: GC not converging"
+                )
+        if self.wear_level_delta is not None:
+            yield from self._maybe_wear_level(plane)
+
+    def _select_victim(self, plane: _Plane) -> Optional[int]:
+        pages_per_block = self.geometry.pages_per_block
+        best = None
+        best_score = None
+        for pbn in plane.occupied:
+            if pbn in plane.collecting:
+                continue
+            valid = self.mapping.valid_in_block[pbn]
+            if valid >= pages_per_block:
+                continue  # nothing to gain
+            if self.gc_policy == "greedy":
+                score = valid
+            else:
+                utilisation = valid / pages_per_block
+                age = self.mapping.clock - self.mapping.block_write_time[pbn]
+                # benefit/cost: free space gained per copy work, times age
+                score = -((1.0 - utilisation) / (2.0 * utilisation + 1e-9)) * (
+                    age + 1
+                )
+            if best_score is None or score < best_score:
+                best, best_score = pbn, score
+        return best
+
+    def _collect(self, plane: _Plane, victim: int):
+        """Generator: relocate the victim's valid pages, erase it."""
+        plane.collecting.add(victim)
+        moved = []
+        try:
+            for offset, lpn in self.mapping.valid_lpns_of_block(victim):
+                src = self.geometry.ppn_of(victim, offset)
+                if self.mapping.lookup(lpn) != src:
+                    continue  # overwritten since selection
+                dst = self._allocate(
+                    plane.plane_id,
+                    _COLD if self.separate_streams else _HOT,
+                )
+                # OOB travels with the page (copyback preserves it), keeping
+                # the recovery sequence number of the original write.
+                if self.use_copyback:
+                    yield from relocate_page(
+                        self.geometry, src, dst, self.stats
+                    )
+                else:
+                    self.stats.gc_relocations += 1
+                    self.stats.gc_reads += 1
+                    self.stats.gc_programs += 1
+                    result = yield ReadPage(ppn=src)
+                    yield ProgramPage(ppn=dst, data=result.data,
+                                      oob=result.oob)
+                if self.mapping.lookup(lpn) == src:
+                    self.mapping.bind(lpn, dst)
+                    moved.append((lpn, dst))
+                # else: host overwrote mid-copy; the copy is stillborn and
+                # stays invalid in the new block.
+            yield from self._erase_into_pool(plane, victim)
+        finally:
+            plane.collecting.discard(victim)
+        if self.rebind_hook is not None and moved:
+            yield from self.rebind_hook(moved)
+
+    def _erase_into_pool(self, plane: _Plane, pbn: int):
+        plane.occupied.discard(pbn)
+        try:
+            yield EraseBlock(pbn=pbn)
+        except BlockWornOut:
+            self.stats.grown_bad_blocks += 1
+            if self.on_grown_bad is not None:
+                self.on_grown_bad(pbn)
+            return
+        self.stats.gc_erases += 1
+        self.erase_counts[pbn] = self.erase_counts.get(pbn, 0) + 1
+        plane.pool.give(pbn)
+
+    # -- wear leveling -----------------------------------------------------------------
+
+    def _maybe_wear_level(self, plane: _Plane):
+        """Static wear leveling: refresh the coldest occupied block when the
+        in-plane erase spread exceeds the threshold, so its low-wear block
+        re-enters the pool and absorbs future hot writes."""
+        plane.erases_since_wl += 1
+        if plane.erases_since_wl < self.wear_level_check_every:
+            return
+        plane.erases_since_wl = 0
+        if not plane.occupied or len(plane.pool) < self.gc_low_water:
+            return
+        counts = [self.erase_counts.get(pbn, 0) for pbn in plane.occupied]
+        pool_counts = [self.erase_counts.get(pbn, 0)
+                       for pbn in plane.pool.peek_free()]
+        spread = max(counts + pool_counts) - min(counts)
+        if spread <= self.wear_level_delta:
+            return
+        coldest = min(plane.occupied,
+                      key=lambda pbn: self.erase_counts.get(pbn, 0))
+        self.stats.wl_moves += 1
+        yield from self._collect(plane, coldest)
+
+    def rebuild_allocation(self, programmed_blocks) -> None:
+        """Crash recovery: reset allocation state from a scan result.
+
+        ``programmed_blocks`` is the set of flat block numbers observed to
+        contain at least one programmed page.  Those blocks become
+        *occupied* (GC reclaims them as their pages die); everything else
+        returns to the free pools.  Active write points restart fresh —
+        partially filled blocks simply retire early, as on real FTL
+        power-up scans.
+        """
+        from .base import BlockPool
+
+        programmed = set(programmed_blocks)
+        for plane in self._planes.values():
+            die, plane_index = plane.plane_id
+            blocks = self.geometry.blocks_of_plane(die, plane_index)
+            known = set(plane.pool.peek_free()) | plane.occupied
+            for active in plane.active.values():
+                if active is not None:
+                    known.add(active[0])
+            plane.occupied = {pbn for pbn in blocks
+                              if pbn in programmed and pbn in known}
+            plane.pool = BlockPool(
+                pbn for pbn in blocks
+                if pbn not in programmed and pbn in known
+            )
+            plane.active = {key: None for key in plane.active}
+            plane.collecting = set()
+
+    # -- introspection -----------------------------------------------------------------
+
+    def occupancy(self) -> dict:
+        return {
+            "planes": len(self._planes),
+            "free_blocks": self.total_free_blocks(),
+            "occupied_blocks": sum(
+                len(plane.occupied) for plane in self._planes.values()
+            ),
+            "valid_pages": self.mapping.total_valid(),
+        }

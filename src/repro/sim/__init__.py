@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel (virtual microsecond clock).
+
+Stands in for the paper's real-time Linux-kernel flash emulator: same role
+(precise, configurable I/O timing), but deterministic and host-independent.
+"""
+
+from .core import AllOf, AnyOf, Event, Interrupt, Process, Simulator, Timeout
+from .resources import Resource, Store
+from .stats import LatencyRecorder, RunningStats, TimeWeightedValue, percentile
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "Resource",
+    "Store",
+    "LatencyRecorder",
+    "RunningStats",
+    "TimeWeightedValue",
+    "percentile",
+]

@@ -1,0 +1,316 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free engine in the style of SimPy: *processes* are
+Python generators that yield :class:`Event` objects and are resumed when
+those events fire.  Time is a virtual microsecond clock (a plain float),
+which is what lets the flash model, the FTLs and the mini-DBMS share one
+deterministic notion of latency.
+
+The paper's evaluation platform is a real-time Linux-kernel flash emulator
+with ~1 microsecond precision; this kernel plays the same role with exactly
+reproducible timing (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Simulator",
+]
+
+_UNSET = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process that has been interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event starts *untriggered*; calling :meth:`succeed` (or
+    :meth:`fail`) schedules it, and once the simulator processes it every
+    registered callback runs exactly once.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = _UNSET
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (it may not have
+        been processed yet)."""
+        return self._value is not _UNSET
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _UNSET:
+            raise RuntimeError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will see it raised."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated time units after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        super().__init__(sim)
+        self._value = value
+        self.delay = delay
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator ends.
+
+    The generator yields :class:`Event` objects; each yield suspends the
+    process until the event fires, at which point the event's value is sent
+    back into the generator (or its exception thrown in).
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current simulation time.
+        init = Event(sim)
+        init._value = None
+        sim._schedule(init)
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _UNSET
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a finished process")
+        if self._waiting_on is not None and self._waiting_on.callbacks is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        self.sim._schedule(wakeup)
+        wakeup.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An uncaught interrupt terminates the process abnormally.
+            self.sim._active_process = None
+            self._ok = False
+            self._value = exc
+            self.sim._schedule(self)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self._ok = False
+            self._value = exc
+            self.sim._schedule(self)
+            if not self.callbacks:
+                raise
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {target!r}; processes must yield Event objects"
+            )
+        if target.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            proxy = Event(self.sim)
+            proxy._ok = target._ok
+            proxy._value = target._value
+            self.sim._schedule(proxy)
+            proxy.callbacks.append(self._resume)
+            self._waiting_on = proxy
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._fired: dict = {}
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._on_fire(event)
+            else:
+                event.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._fired[event] = event._value
+        if self._satisfied():
+            self.succeed(dict(self._fired))
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any child event fires; value maps event -> value."""
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) >= 1
+
+
+class AllOf(_Condition):
+    """Fires once all child events have fired; value maps event -> value."""
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) == len(self._events)
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, event) triples."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (microseconds by project convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event constructors -------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling / running ------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, __, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_process(self, generator: Generator) -> Any:
+        """Run a process to completion and return its value.
+
+        Steps the simulation only until *this* process finishes — other
+        processes (e.g. perpetually polling background writers) may still
+        have pending events afterwards; resume them with :meth:`run`.
+        """
+        proc = self.process(generator)
+        while not proc.triggered and self._queue:
+            self.step()
+        if not proc.triggered:
+            raise RuntimeError("process did not finish (deadlock?)")
+        if not proc._ok:
+            raise proc._value
+        return proc.value

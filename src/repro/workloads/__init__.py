@@ -1,0 +1,36 @@
+"""Workloads: the TPC kits the paper evaluates with (-B, -C, -E, -H),
+FIO-style synthetic jobs, trace recording/replay, and the terminal-pool
+runner that meters transactions per second."""
+
+from .base import Workload, WorkloadStats, VoluntaryRollback, run_workload
+from .synth import SyntheticResult, SyntheticSpec, run_synthetic
+from .tpcb import TPCB
+from .tpcc import TPCC
+from .tpce import TPCE
+from .tpch import TPCH
+from .trace import (
+    IOTrace,
+    ReplayReport,
+    TraceOp,
+    TraceRecordingAdapter,
+    replay_trace,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadStats",
+    "VoluntaryRollback",
+    "run_workload",
+    "SyntheticResult",
+    "SyntheticSpec",
+    "run_synthetic",
+    "TPCB",
+    "TPCC",
+    "TPCE",
+    "TPCH",
+    "IOTrace",
+    "ReplayReport",
+    "TraceOp",
+    "TraceRecordingAdapter",
+    "replay_trace",
+]

@@ -1,0 +1,470 @@
+"""TPC-C: order-entry OLTP with the standard five-transaction mix.
+
+Structurally faithful to the spec — warehouses, 10 districts each,
+customers, items, per-warehouse stock, orders / new-order / order-line /
+history tables, the 45/43/4/4/4 NewOrder / Payment / OrderStatus /
+Delivery / StockLevel mix, 1% of NewOrders rolling back by spec — but
+dimensionally scaled (customers per district, item count) so runs fit a
+simulated laptop.  The properties the paper's evaluation leans on are
+preserved: high update skew on warehouse/district rows, secondary-index
+traffic, inserts that grow tables, and Delivery's deletes that *shrink*
+them (feeding NoFTL's trim path).
+
+Composite keys pack into single ints for the unique B+-tree indexes.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Callable, Tuple
+
+from ..db.database import Database
+from ..db.heap import pack_rid, unpack_rid
+from ..db.locks import LockMode
+from .base import VoluntaryRollback, Workload
+
+__all__ = ["TPCC"]
+
+DISTRICTS_PER_WAREHOUSE = 10
+
+_WAREHOUSE = struct.Struct("<qq40x")       # w_id, ytd
+_DISTRICT = struct.Struct("<qqqq24x")      # (w,d), ytd, next_o_id, pad
+_CUSTOMER = struct.Struct("<qqqqq24x")     # key, balance, ytd, payments, deliveries
+_ITEM = struct.Struct("<qq32x")            # i_id, price
+_STOCK = struct.Struct("<qqq24x")          # key, quantity, ytd
+_ORDER = struct.Struct("<qqqq16x")         # key, c_id, ol_cnt, delivered
+_ORDER_LINE = struct.Struct("<qqqq16x")    # key, i_id, qty, amount
+_HISTORY = struct.Struct("<qqq24x")        # c_key, amount, pad
+_NEW_ORDER = struct.Struct("<q40x")        # okey
+
+
+def _dkey(w: int, d: int) -> int:
+    return w * DISTRICTS_PER_WAREHOUSE + d
+
+
+def _ckey(w: int, d: int, c: int) -> int:
+    return (_dkey(w, d) << 20) | c
+
+
+def _skey(w: int, i: int) -> int:
+    return (w << 24) | i
+
+
+def _okey(w: int, d: int, o: int) -> int:
+    return (_dkey(w, d) << 28) | o
+
+
+def _olkey(w: int, d: int, o: int, line: int) -> int:
+    return (_okey(w, d, o) << 4) | line
+
+
+class TPCC(Workload):
+    name = "tpcc"
+
+    MIX = (
+        ("new-order", 45),
+        ("payment", 43),
+        ("order-status", 4),
+        ("delivery", 4),
+        ("stock-level", 4),
+    )
+
+    def __init__(self, warehouses: int = 1, customers_per_district: int = 60,
+                 items: int = 200, initial_orders_per_district: int = 10):
+        if warehouses < 1:
+            raise ValueError("warehouses must be >= 1")
+        if items < 20:
+            raise ValueError("items must be >= 20")
+        self.warehouses = warehouses
+        self.customers_per_district = customers_per_district
+        self.items = items
+        self.initial_orders = initial_orders_per_district
+
+    # -- loading -----------------------------------------------------------------------
+
+    def load(self, db: Database):
+        warehouses = db.create_heap("tpcc_warehouse", hint="hot")
+        districts = db.create_heap("tpcc_district", hint="hot")
+        customers = db.create_heap("tpcc_customer", hint="hot")
+        items = db.create_heap("tpcc_item", hint="cold")
+        stock = db.create_heap("tpcc_stock", hint="hot")
+        db.create_heap("tpcc_order", hint="hot")
+        db.create_heap("tpcc_new_order", hint="hot")
+        db.create_heap("tpcc_order_line", hint="hot")
+        db.create_heap("tpcc_history", hint="cold")
+
+        w_idx = yield from db.create_index("tpcc_w_idx")
+        d_idx = yield from db.create_index("tpcc_d_idx")
+        c_idx = yield from db.create_index("tpcc_c_idx")
+        i_idx = yield from db.create_index("tpcc_i_idx")
+        s_idx = yield from db.create_index("tpcc_s_idx")
+        yield from db.create_index("tpcc_o_idx")
+        yield from db.create_index("tpcc_no_idx")
+        yield from db.create_index("tpcc_ol_idx")
+
+        txn = db.begin()
+        for i_id in range(self.items):
+            rid = yield from items.insert(
+                txn, _ITEM.pack(i_id, 100 + (i_id % 900))
+            )
+            yield from i_idx.insert(txn, i_id, pack_rid(rid))
+        yield from db.commit(txn)
+
+        for w_id in range(self.warehouses):
+            txn = db.begin()
+            rid = yield from warehouses.insert(txn, _WAREHOUSE.pack(w_id, 0))
+            yield from w_idx.insert(txn, w_id, pack_rid(rid))
+            for i_id in range(self.items):
+                rid = yield from stock.insert(
+                    txn, _STOCK.pack(_skey(w_id, i_id), 100, 0)
+                )
+                yield from s_idx.insert(txn, _skey(w_id, i_id), pack_rid(rid))
+            for d_id in range(DISTRICTS_PER_WAREHOUSE):
+                rid = yield from districts.insert(
+                    txn, _DISTRICT.pack(_dkey(w_id, d_id), 0,
+                                        self.initial_orders, 0)
+                )
+                yield from d_idx.insert(txn, _dkey(w_id, d_id), pack_rid(rid))
+                for c_id in range(self.customers_per_district):
+                    rid = yield from customers.insert(
+                        txn, _CUSTOMER.pack(_ckey(w_id, d_id, c_id),
+                                            0, 0, 0, 0)
+                    )
+                    yield from c_idx.insert(txn, _ckey(w_id, d_id, c_id),
+                                            pack_rid(rid))
+            yield from db.commit(txn)
+
+        # a few pre-existing undelivered orders per district
+        txn = db.begin()
+        for w_id in range(self.warehouses):
+            for d_id in range(DISTRICTS_PER_WAREHOUSE):
+                for o_id in range(self.initial_orders):
+                    yield from self._insert_order(
+                        db, txn, w_id, d_id, o_id,
+                        c_id=o_id % self.customers_per_district,
+                        lines=((o_id * 7) % 5) + 5,
+                        rng=random.Random(o_id),
+                    )
+        yield from db.commit(txn)
+        yield from db.checkpoint()
+
+    def _insert_order(self, db, txn, w_id, d_id, o_id, c_id, lines, rng):
+        orders = db.heaps["tpcc_order"]
+        order_lines = db.heaps["tpcc_order_line"]
+        o_idx = db.indexes["tpcc_o_idx"]
+        no_idx = db.indexes["tpcc_no_idx"]
+        ol_idx = db.indexes["tpcc_ol_idx"]
+        new_orders = db.heaps["tpcc_new_order"]
+        okey = _okey(w_id, d_id, o_id)
+        rid = yield from orders.insert(
+            txn, _ORDER.pack(okey, c_id, lines, 0)
+        )
+        yield from o_idx.insert(txn, okey, pack_rid(rid))
+        no_rid = yield from new_orders.insert(txn, _NEW_ORDER.pack(okey))
+        yield from no_idx.insert(txn, okey, pack_rid(no_rid))
+        total = 0
+        for line in range(lines):
+            i_id = rng.randrange(self.items)
+            qty = rng.randint(1, 10)
+            amount = qty * (100 + (i_id % 900))
+            total += amount
+            rid = yield from order_lines.insert(
+                txn, _ORDER_LINE.pack(_olkey(w_id, d_id, o_id, line),
+                                      i_id, qty, amount)
+            )
+            yield from ol_idx.insert(txn, _olkey(w_id, d_id, o_id, line),
+                                     pack_rid(rid))
+        return total
+
+    # -- mix -----------------------------------------------------------------------------
+
+    def next_transaction(
+        self, db: Database, rng: random.Random
+    ) -> Tuple[str, Callable]:
+        pick = rng.randrange(100)
+        acc = 0
+        for txn_name, weight in self.MIX:
+            acc += weight
+            if pick < acc:
+                break
+        w_id = rng.randrange(self.warehouses)
+        d_id = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        if txn_name == "new-order":
+            body = self._new_order(db, rng, w_id, d_id)
+        elif txn_name == "payment":
+            body = self._payment(db, rng, w_id, d_id)
+        elif txn_name == "order-status":
+            body = self._order_status(db, rng, w_id, d_id)
+        elif txn_name == "delivery":
+            body = self._delivery(db, rng, w_id)
+        else:
+            body = self._stock_level(db, rng, w_id, d_id)
+        return txn_name, body
+
+    # -- transactions -----------------------------------------------------------------------
+
+    def _new_order(self, db, rng, w_id, d_id):
+        c_id = rng.randrange(self.customers_per_district)
+        n_lines = rng.randint(5, 15)
+        # Sorted item order gives a global lock hierarchy on stock rows —
+        # the standard deadlock-avoidance trick in TPC-C kits.
+        item_ids = sorted(rng.sample(range(self.items),
+                                     min(n_lines, self.items)))
+        rollback = rng.randrange(100) == 0  # spec: 1% invalid item
+        line_rng = random.Random(rng.randrange(2 ** 62))
+
+        def body(txn):
+            districts = db.heaps["tpcc_district"]
+            d_idx = db.indexes["tpcc_d_idx"]
+            s_idx = db.indexes["tpcc_s_idx"]
+            stock = db.heaps["tpcc_stock"]
+
+            packed = yield from d_idx.lookup(txn, _dkey(w_id, d_id))
+            d_rid = unpack_rid(packed)
+            raw = yield from districts.read(txn, d_rid, LockMode.EXCLUSIVE)
+            dk, ytd, next_o_id, pad = _DISTRICT.unpack(raw)
+            yield from districts.update(
+                txn, d_rid, _DISTRICT.pack(dk, ytd, next_o_id + 1, pad)
+            )
+            for i_id in item_ids:
+                packed = yield from s_idx.lookup(txn, _skey(w_id, i_id))
+                s_rid = unpack_rid(packed)
+                raw = yield from stock.read(txn, s_rid, LockMode.EXCLUSIVE)
+                sk, quantity, s_ytd = _STOCK.unpack(raw)
+                quantity = quantity - 1 if quantity > 10 else quantity + 91
+                yield from stock.update(
+                    txn, s_rid, _STOCK.pack(sk, quantity, s_ytd + 1)
+                )
+            yield from self._insert_order(
+                db, txn, w_id, d_id, next_o_id, c_id,
+                lines=len(item_ids), rng=line_rng,
+            )
+            if rollback:
+                raise VoluntaryRollback()
+
+        return body
+
+    def _payment(self, db, rng, w_id, d_id):
+        c_id = rng.randrange(self.customers_per_district)
+        amount = rng.randint(100, 500_000)
+        remote = self.warehouses > 1 and rng.randrange(100) < 15
+        c_w = rng.randrange(self.warehouses) if remote else w_id
+
+        def body(txn):
+            warehouses = db.heaps["tpcc_warehouse"]
+            districts = db.heaps["tpcc_district"]
+            customers = db.heaps["tpcc_customer"]
+            history = db.heaps["tpcc_history"]
+            w_idx = db.indexes["tpcc_w_idx"]
+            d_idx = db.indexes["tpcc_d_idx"]
+            c_idx = db.indexes["tpcc_c_idx"]
+
+            packed = yield from w_idx.lookup(txn, w_id)
+            w_rid = unpack_rid(packed)
+            raw = yield from warehouses.read(txn, w_rid, LockMode.EXCLUSIVE)
+            wid, ytd = _WAREHOUSE.unpack(raw)
+            yield from warehouses.update(
+                txn, w_rid, _WAREHOUSE.pack(wid, ytd + amount)
+            )
+
+            packed = yield from d_idx.lookup(txn, _dkey(w_id, d_id))
+            d_rid = unpack_rid(packed)
+            raw = yield from districts.read(txn, d_rid, LockMode.EXCLUSIVE)
+            dk, d_ytd, next_o_id, pad = _DISTRICT.unpack(raw)
+            yield from districts.update(
+                txn, d_rid, _DISTRICT.pack(dk, d_ytd + amount, next_o_id, pad)
+            )
+
+            ckey = _ckey(c_w, d_id, c_id)
+            packed = yield from c_idx.lookup(txn, ckey)
+            c_rid = unpack_rid(packed)
+            raw = yield from customers.read(txn, c_rid, LockMode.EXCLUSIVE)
+            ck, balance, c_ytd, payments, deliveries = _CUSTOMER.unpack(raw)
+            yield from customers.update(
+                txn, c_rid,
+                _CUSTOMER.pack(ck, balance - amount, c_ytd + amount,
+                               payments + 1, deliveries)
+            )
+            yield from history.insert(txn, _HISTORY.pack(ckey, amount, 0))
+
+        return body
+
+    def _order_status(self, db, rng, w_id, d_id):
+        c_id = rng.randrange(self.customers_per_district)
+
+        def body(txn):
+            customers = db.heaps["tpcc_customer"]
+            orders = db.heaps["tpcc_order"]
+            order_lines = db.heaps["tpcc_order_line"]
+            c_idx = db.indexes["tpcc_c_idx"]
+            o_idx = db.indexes["tpcc_o_idx"]
+            ol_idx = db.indexes["tpcc_ol_idx"]
+
+            packed = yield from c_idx.lookup(txn, _ckey(w_id, d_id, c_id))
+            yield from customers.read(txn, unpack_rid(packed),
+                                      acquire_lock=False)
+            # Last order of the district via the district's next_o_id —
+            # O(1) instead of scanning the district's whole order range.
+            d_idx = db.indexes["tpcc_d_idx"]
+            districts = db.heaps["tpcc_district"]
+            packed = yield from d_idx.lookup(txn, _dkey(w_id, d_id))
+            raw = yield from districts.read(txn, unpack_rid(packed),
+                                            acquire_lock=False)
+            __, __, next_o_id, __ = _DISTRICT.unpack(raw)
+            if next_o_id == 0:
+                return
+            okey = _okey(w_id, d_id, next_o_id - 1)
+            packed = yield from o_idx.lookup(txn, okey)
+            if packed is None:
+                return
+            raw = yield from orders.read(txn, unpack_rid(packed),
+                                         acquire_lock=False)
+            __, __, ol_cnt, __ = _ORDER.unpack(raw)
+            lines = yield from ol_idx.range(txn, okey << 4, (okey << 4) | 0xF)
+            for __, packed_line in lines:
+                try:
+                    yield from order_lines.read(txn, unpack_rid(packed_line),
+                                                acquire_lock=False)
+                except KeyError:
+                    continue  # READ UNCOMMITTED: tolerate vanished rows
+
+        return body
+
+    def _delivery(self, db, rng, w_id):
+        def body(txn):
+            orders = db.heaps["tpcc_order"]
+            order_lines = db.heaps["tpcc_order_line"]
+            customers = db.heaps["tpcc_customer"]
+            no_idx = db.indexes["tpcc_no_idx"]
+            o_idx = db.indexes["tpcc_o_idx"]
+            ol_idx = db.indexes["tpcc_ol_idx"]
+            c_idx = db.indexes["tpcc_c_idx"]
+
+            new_orders = db.heaps["tpcc_new_order"]
+            for d_id in range(DISTRICTS_PER_WAREHOUSE):
+                low = _okey(w_id, d_id, 0)
+                high = _okey(w_id, d_id, (1 << 28) - 1)
+                undelivered = yield from no_idx.range(txn, low, high,
+                                                      limit=1)
+                if not undelivered:
+                    continue
+                okey, packed_no = undelivered[0]
+                # consume the NEW_ORDER row (heap delete -> page may empty
+                # -> free-space manager trims the flash).  A concurrent
+                # Delivery may have grabbed the same row: the loser skips.
+                try:
+                    yield from new_orders.delete(txn, unpack_rid(packed_no))
+                except KeyError:
+                    continue
+                try:
+                    yield from no_idx.delete(txn, okey)
+                except KeyError:
+                    continue
+                packed = yield from o_idx.lookup(txn, okey)
+                o_rid = unpack_rid(packed)
+                raw = yield from orders.read(txn, o_rid, LockMode.EXCLUSIVE)
+                ok, c_id, ol_cnt, __ = _ORDER.unpack(raw)
+                yield from orders.update(
+                    txn, o_rid, _ORDER.pack(ok, c_id, ol_cnt, 1)
+                )
+                total = 0
+                lines = yield from ol_idx.range(txn, okey << 4,
+                                                (okey << 4) | 0xF)
+                for line_key, packed_line in lines:
+                    ol_rid = unpack_rid(packed_line)
+                    try:
+                        raw = yield from order_lines.read(txn, ol_rid)
+                    except KeyError:
+                        continue  # stale entry from an aborted NewOrder
+                    total += _ORDER_LINE.unpack(raw)[3]
+                ckey = _ckey(w_id, d_id, c_id)
+                packed = yield from c_idx.lookup(txn, ckey)
+                c_rid = unpack_rid(packed)
+                raw = yield from customers.read(txn, c_rid,
+                                                LockMode.EXCLUSIVE)
+                ck, balance, ytd, payments, deliveries = _CUSTOMER.unpack(raw)
+                yield from customers.update(
+                    txn, c_rid,
+                    _CUSTOMER.pack(ck, balance + total, ytd, payments,
+                                   deliveries + 1)
+                )
+
+        return body
+
+    # -- consistency audit ---------------------------------------------------
+
+    def verify_consistency(self, db: Database):
+        """Generator: the spec's core consistency conditions, scaled.
+
+        * every district's ``next_o_id`` equals the number of orders that
+          exist for it (orders are never deleted);
+        * warehouse YTD equals the sum of its districts' YTD;
+        * undelivered (NEW_ORDER) rows are a subset of the orders.
+        Returns True iff all hold.
+        """
+        txn = db.begin()
+        district_rows = yield from db.heaps["tpcc_district"].scan(txn)
+        warehouse_rows = yield from db.heaps["tpcc_warehouse"].scan(txn)
+        order_rows = yield from db.heaps["tpcc_order"].scan(txn)
+        new_order_rows = yield from db.heaps["tpcc_new_order"].scan(txn)
+        yield from db.commit(txn)
+
+        next_o_total = 0
+        district_ytd = {}
+        for __, raw in district_rows:
+            dk, ytd, next_o_id, __pad = _DISTRICT.unpack(raw)
+            next_o_total += next_o_id
+            w_id = dk // DISTRICTS_PER_WAREHOUSE
+            district_ytd[w_id] = district_ytd.get(w_id, 0) + ytd
+        if next_o_total != len(order_rows):
+            return False
+
+        for __, raw in warehouse_rows:
+            w_id, ytd = _WAREHOUSE.unpack(raw)
+            if ytd != district_ytd.get(w_id, 0):
+                return False
+
+        order_keys = {_ORDER.unpack(raw)[0] for __, raw in order_rows}
+        undelivered = {_NEW_ORDER.unpack(raw)[0]
+                       for __, raw in new_order_rows}
+        return undelivered <= order_keys
+
+    def _stock_level(self, db, rng, w_id, d_id):
+        threshold = rng.randint(10, 20)
+
+        def body(txn):
+            districts = db.heaps["tpcc_district"]
+            stock = db.heaps["tpcc_stock"]
+            d_idx = db.indexes["tpcc_d_idx"]
+            s_idx = db.indexes["tpcc_s_idx"]
+            ol_idx = db.indexes["tpcc_ol_idx"]
+            order_lines = db.heaps["tpcc_order_line"]
+
+            packed = yield from d_idx.lookup(txn, _dkey(w_id, d_id))
+            raw = yield from districts.read(txn, unpack_rid(packed),
+                                            acquire_lock=False)
+            __, __, next_o_id, __ = _DISTRICT.unpack(raw)
+            low_o = max(0, next_o_id - 5)
+            low = _olkey(w_id, d_id, low_o, 0)
+            high = _olkey(w_id, d_id, max(0, next_o_id - 1), 0xF)
+            lines = yield from ol_idx.range(txn, low, high)
+            seen = set()
+            low_stock = 0
+            for __, packed_line in lines[:40]:
+                try:
+                    raw = yield from order_lines.read(
+                        txn, unpack_rid(packed_line), acquire_lock=False)
+                except KeyError:
+                    continue  # READ UNCOMMITTED: tolerate vanished rows
+                i_id = _ORDER_LINE.unpack(raw)[1]
+                if i_id in seen:
+                    continue
+                seen.add(i_id)
+                packed_stock = yield from s_idx.lookup(txn, _skey(w_id, i_id))
+                raw = yield from stock.read(txn, unpack_rid(packed_stock),
+                                            acquire_lock=False)
+                if _STOCK.unpack(raw)[1] < threshold:
+                    low_stock += 1
+
+        return body

@@ -1,0 +1,225 @@
+"""TPC-E (scaled): brokerage OLTP.
+
+TPC-E is far larger than TPC-C in schema; this implementation keeps the
+tables and transactions that generate its characteristic I/O — a
+read-heavier mix than TPC-B/C (the spec is ~77% read) with bursts of
+trade inserts and status updates:
+
+* customers, accounts (balance), securities (price), trades;
+* TradeOrder (insert trade + account update), TradeResult (trade status
+  update + account settle), MarketFeed (security price updates),
+  TradeLookup / CustomerPosition (reads).
+
+The paper runs "TPC-E 1K Customers" for its Figure 3 trace; the same
+scaling knob exists here.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from collections import deque
+from typing import Callable, Tuple
+
+from ..db.database import Database
+from ..db.heap import pack_rid, unpack_rid
+from ..db.locks import LockMode
+from .base import Workload
+
+__all__ = ["TPCE"]
+
+_CUSTOMER = struct.Struct("<qq36x")    # c_id, tier
+_ACCOUNT = struct.Struct("<qqq28x")    # a_id, c_id, balance
+_SECURITY = struct.Struct("<qq36x")    # s_id, price
+_TRADE = struct.Struct("<qqqqqq4x")    # t_id, a_id, s_id, qty, price, status
+
+_PENDING, _COMPLETED = 0, 1
+
+ACCOUNTS_PER_CUSTOMER = 2
+
+
+class TPCE(Workload):
+    name = "tpce"
+
+    MIX = (
+        ("trade-order", 20),
+        ("trade-result", 16),
+        ("market-feed", 4),
+        ("trade-lookup", 30),
+        ("customer-position", 30),
+    )
+
+    def __init__(self, customers: int = 1000, securities: int = 100):
+        if customers < 1 or securities < 1:
+            raise ValueError("customers and securities must be >= 1")
+        self.customers = customers
+        self.securities = securities
+        self.num_accounts = customers * ACCOUNTS_PER_CUSTOMER
+        self._next_trade_id = 0
+        self._pending: deque = deque()
+
+    def load(self, db: Database):
+        customers = db.create_heap("tpce_customer", hint="cold")
+        accounts = db.create_heap("tpce_account", hint="hot")
+        securities = db.create_heap("tpce_security", hint="hot")
+        db.create_heap("tpce_trade", hint="hot")
+        c_idx = yield from db.create_index("tpce_c_idx")
+        a_idx = yield from db.create_index("tpce_a_idx")
+        s_idx = yield from db.create_index("tpce_s_idx")
+        yield from db.create_index("tpce_t_idx")
+
+        txn = db.begin()
+        for c_id in range(self.customers):
+            rid = yield from customers.insert(
+                txn, _CUSTOMER.pack(c_id, c_id % 3)
+            )
+            yield from c_idx.insert(txn, c_id, pack_rid(rid))
+            if (c_id + 1) % 500 == 0:
+                yield from db.commit(txn)
+                txn = db.begin()
+        for a_id in range(self.num_accounts):
+            rid = yield from accounts.insert(
+                txn, _ACCOUNT.pack(a_id, a_id // ACCOUNTS_PER_CUSTOMER,
+                                   1_000_000)
+            )
+            yield from a_idx.insert(txn, a_id, pack_rid(rid))
+            if (a_id + 1) % 500 == 0:
+                yield from db.commit(txn)
+                txn = db.begin()
+        for s_id in range(self.securities):
+            rid = yield from securities.insert(
+                txn, _SECURITY.pack(s_id, 1000 + s_id)
+            )
+            yield from s_idx.insert(txn, s_id, pack_rid(rid))
+        yield from db.commit(txn)
+        yield from db.checkpoint()
+
+    def next_transaction(
+        self, db: Database, rng: random.Random
+    ) -> Tuple[str, Callable]:
+        pick = rng.randrange(100)
+        acc = 0
+        for txn_name, weight in self.MIX:
+            acc += weight
+            if pick < acc:
+                break
+        if txn_name == "trade-result" and not self._pending:
+            txn_name = "trade-order"
+        builder = {
+            "trade-order": self._trade_order,
+            "trade-result": self._trade_result,
+            "market-feed": self._market_feed,
+            "trade-lookup": self._trade_lookup,
+            "customer-position": self._customer_position,
+        }[txn_name]
+        return txn_name, builder(db, rng)
+
+    # -- transactions -------------------------------------------------------------
+
+    def _trade_order(self, db, rng):
+        a_id = rng.randrange(self.num_accounts)
+        s_id = rng.randrange(self.securities)
+        qty = rng.randint(1, 100)
+        t_id = self._next_trade_id
+        self._next_trade_id += 1
+
+        def body(txn):
+            trades = db.heaps["tpce_trade"]
+            accounts = db.heaps["tpce_account"]
+            securities = db.heaps["tpce_security"]
+            a_idx = db.indexes["tpce_a_idx"]
+            s_idx = db.indexes["tpce_s_idx"]
+            t_idx = db.indexes["tpce_t_idx"]
+
+            packed = yield from s_idx.lookup(txn, s_id)
+            raw = yield from securities.read(txn, unpack_rid(packed))
+            __, price = _SECURITY.unpack(raw)
+
+            packed = yield from a_idx.lookup(txn, a_id)
+            a_rid = unpack_rid(packed)
+            raw = yield from accounts.read(txn, a_rid, LockMode.EXCLUSIVE)
+            aid, c_id, balance = _ACCOUNT.unpack(raw)
+            yield from accounts.update(
+                txn, a_rid,
+                _ACCOUNT.pack(aid, c_id, balance - qty * price)
+            )
+            rid = yield from trades.insert(
+                txn, _TRADE.pack(t_id, a_id, s_id, qty, price, _PENDING)
+            )
+            yield from t_idx.insert(txn, t_id, pack_rid(rid))
+            self._pending.append(t_id)
+
+        return body
+
+    def _trade_result(self, db, rng):
+        t_id = self._pending.popleft() if self._pending else None
+
+        def body(txn):
+            if t_id is None:
+                return
+            trades = db.heaps["tpce_trade"]
+            t_idx = db.indexes["tpce_t_idx"]
+            packed = yield from t_idx.lookup(txn, t_id)
+            if packed is None:
+                return
+            t_rid = unpack_rid(packed)
+            raw = yield from trades.read(txn, t_rid, LockMode.EXCLUSIVE)
+            tid, a_id, s_id, qty, price, __ = _TRADE.unpack(raw)
+            yield from trades.update(
+                txn, t_rid,
+                _TRADE.pack(tid, a_id, s_id, qty, price, _COMPLETED)
+            )
+
+        return body
+
+    def _market_feed(self, db, rng):
+        picks = [rng.randrange(self.securities) for __ in range(5)]
+
+        def body(txn):
+            securities = db.heaps["tpce_security"]
+            s_idx = db.indexes["tpce_s_idx"]
+            for s_id in sorted(set(picks)):
+                packed = yield from s_idx.lookup(txn, s_id)
+                s_rid = unpack_rid(packed)
+                raw = yield from securities.read(txn, s_rid,
+                                                 LockMode.EXCLUSIVE)
+                sid, price = _SECURITY.unpack(raw)
+                delta = rng.randint(-5, 5)
+                yield from securities.update(
+                    txn, s_rid, _SECURITY.pack(sid, max(1, price + delta))
+                )
+
+        return body
+
+    def _trade_lookup(self, db, rng):
+        low = rng.randrange(max(1, self._next_trade_id or 1))
+        count = 10
+
+        def body(txn):
+            trades = db.heaps["tpce_trade"]
+            t_idx = db.indexes["tpce_t_idx"]
+            found = yield from t_idx.range(txn, low, low + 100, limit=count)
+            for __, packed in found:
+                yield from trades.read(txn, unpack_rid(packed),
+                                       acquire_lock=False)
+
+        return body
+
+    def _customer_position(self, db, rng):
+        c_id = rng.randrange(self.customers)
+
+        def body(txn):
+            customers = db.heaps["tpce_customer"]
+            accounts = db.heaps["tpce_account"]
+            c_idx = db.indexes["tpce_c_idx"]
+            a_idx = db.indexes["tpce_a_idx"]
+            packed = yield from c_idx.lookup(txn, c_id)
+            yield from customers.read(txn, unpack_rid(packed),
+                                      acquire_lock=False)
+            for offset in range(ACCOUNTS_PER_CUSTOMER):
+                a_id = c_id * ACCOUNTS_PER_CUSTOMER + offset
+                packed = yield from a_idx.lookup(txn, a_id)
+                yield from accounts.read(txn, unpack_rid(packed),
+                                         acquire_lock=False)
+
+        return body

@@ -1,0 +1,146 @@
+"""TPC-H (scaled): decision-support scans over orders/lineitem.
+
+The demo lets the audience pick TPC-H as the read-mostly counterpoint to
+the OLTP kits.  The schema keeps the two big tables (orders, lineitem)
+plus customer; the "transactions" are three spec-shaped queries:
+
+* Q1-like: full lineitem scan with grouped aggregation;
+* Q6-like: filtered lineitem scan computing a revenue sum;
+* Q3-like: customer-filtered join of orders and lineitem via index.
+
+Scans stream pages through the buffer pool, so on flash they turn into
+long sequential read bursts — the access pattern whose latency NoFTL
+keeps flat while FTL devices interleave it with GC.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Callable, Tuple
+
+from ..db.database import Database
+from ..db.heap import pack_rid, unpack_rid
+from .base import Workload
+
+__all__ = ["TPCH"]
+
+_CUSTOMER = struct.Struct("<qq36x")      # c_id, segment
+_ORDER = struct.Struct("<qqqq16x")       # o_id, c_id, date, lines
+_LINEITEM = struct.Struct("<qqqq16x")    # (o_id, line), qty, price, discount%
+
+LINES_PER_ORDER = 4
+
+
+class TPCH(Workload):
+    name = "tpch"
+
+    MIX = (("q1-aggregate", 34), ("q6-revenue", 33), ("q3-join", 33))
+
+    def __init__(self, customers: int = 100, orders: int = 500):
+        if customers < 1 or orders < 1:
+            raise ValueError("customers and orders must be >= 1")
+        self.customers = customers
+        self.orders = orders
+
+    def load(self, db: Database):
+        customers = db.create_heap("tpch_customer", hint="cold")
+        orders = db.create_heap("tpch_orders", hint="cold")
+        lineitems = db.create_heap("tpch_lineitem", hint="cold")
+        o_idx = yield from db.create_index("tpch_o_idx")
+        rng = random.Random(42)
+
+        txn = db.begin()
+        for c_id in range(self.customers):
+            yield from customers.insert(txn, _CUSTOMER.pack(c_id, c_id % 5))
+        for o_id in range(self.orders):
+            c_id = rng.randrange(self.customers)
+            date = rng.randrange(2400)
+            rid = yield from orders.insert(
+                txn, _ORDER.pack(o_id, c_id, date, LINES_PER_ORDER)
+            )
+            yield from o_idx.insert(txn, o_id, pack_rid(rid))
+            for line in range(LINES_PER_ORDER):
+                yield from lineitems.insert(
+                    txn,
+                    _LINEITEM.pack(o_id * LINES_PER_ORDER + line,
+                                   rng.randint(1, 50),
+                                   rng.randint(100, 10_000),
+                                   rng.randint(0, 10)),
+                )
+            if (o_id + 1) % 200 == 0:
+                yield from db.commit(txn)
+                txn = db.begin()
+        yield from db.commit(txn)
+        yield from db.checkpoint()
+
+    def next_transaction(
+        self, db: Database, rng: random.Random
+    ) -> Tuple[str, Callable]:
+        pick = rng.randrange(100)
+        acc = 0
+        for txn_name, weight in self.MIX:
+            acc += weight
+            if pick < acc:
+                break
+        builder = {
+            "q1-aggregate": self._q1,
+            "q6-revenue": self._q6,
+            "q3-join": self._q3,
+        }[txn_name]
+        return txn_name, builder(db, rng)
+
+    def _q1(self, db, rng):
+        def body(txn):
+            lineitems = db.heaps["tpch_lineitem"]
+            rows = yield from lineitems.scan(txn)
+            groups = {}
+            for __, raw in rows:
+                key, qty, price, discount = _LINEITEM.unpack(raw)[:4]
+                bucket = discount % 3
+                total_qty, total_rev = groups.get(bucket, (0, 0))
+                groups[bucket] = (total_qty + qty,
+                                  total_rev + qty * price)
+            yield from db.cpu(len(rows) // 10)
+            return groups
+
+        return body
+
+    def _q6(self, db, rng):
+        low_disc = rng.randint(0, 5)
+
+        def body(txn):
+            lineitems = db.heaps["tpch_lineitem"]
+            rows = yield from lineitems.scan(txn)
+            revenue = 0
+            for __, raw in rows:
+                __, qty, price, discount = _LINEITEM.unpack(raw)[:4]
+                if discount >= low_disc and qty < 25:
+                    revenue += qty * price * discount // 100
+            yield from db.cpu(len(rows) // 10)
+            return revenue
+
+        return body
+
+    def _q3(self, db, rng):
+        segment = rng.randrange(5)
+
+        def body(txn):
+            customers = db.heaps["tpch_customer"]
+            orders = db.heaps["tpch_orders"]
+            rows = yield from customers.scan(txn)
+            wanted = {
+                _CUSTOMER.unpack(raw)[0]
+                for __, raw in rows
+                if _CUSTOMER.unpack(raw)[1] == segment
+            }
+            order_rows = yield from orders.scan(txn)
+            matched = [
+                _ORDER.unpack(raw)[0]
+                for __, raw in order_rows
+                if _ORDER.unpack(raw)[1] in wanted
+            ]
+            yield from db.cpu(len(matched))
+            return len(matched)
+
+        return body

@@ -1,0 +1,233 @@
+"""Tests for the buffer pool: pinning, eviction, WAL rule, dirty listener."""
+
+import pytest
+
+from repro.db import BufferPool, RAMStorageAdapter, SlottedPage, WALog
+from repro.sim import Simulator
+
+PAGE_BYTES = 256
+
+
+def make_pool(capacity=4, latency_us=10.0):
+    sim = Simulator()
+    storage = RAMStorageAdapter(sim, logical_pages=256, latency_us=latency_us)
+    wal = WALog(sim, flush_latency_us=50)
+    pool = BufferPool(sim, storage, wal, capacity)
+    return sim, storage, wal, pool
+
+
+def seed_pages(sim, pool, count):
+    """Create `count` pages and flush them so storage has them."""
+
+    def proc():
+        for page_id in range(count):
+            page = SlottedPage(page_id, PAGE_BYTES)
+            page.insert(f"page-{page_id}".encode())
+            yield from pool.new_page(page_id, page)
+            pool.unpin(page_id)
+        yield from pool.flush_all()
+
+    sim.run_process(proc())
+
+
+class TestFetch:
+    def test_hit_after_miss(self):
+        sim, __, __, pool = make_pool()
+        seed_pages(sim, pool, 2)
+
+        def proc():
+            frame = yield from pool.fetch(0)
+            pool.unpin(0)
+            frame = yield from pool.fetch(0)
+            pool.unpin(0)
+            return frame.page.get(0)
+
+        assert sim.run_process(proc()) == b"page-0"
+        assert pool.hits >= 1
+
+    def test_fetch_missing_page_raises(self):
+        sim, __, __, pool = make_pool()
+
+        def proc():
+            yield from pool.fetch(99)
+
+        with pytest.raises(KeyError):
+            sim.run_process(proc())
+
+    def test_concurrent_fetchers_share_one_load(self):
+        sim, storage, __, pool = make_pool(latency_us=100)
+        seed_pages(sim, pool, 8)
+        # evict everything by filling with other pages
+        def wipe():
+            for page_id in range(4, 8):
+                frame = yield from pool.fetch(page_id)
+                pool.unpin(page_id)
+        sim.run_process(wipe())
+        misses_before = pool.misses
+
+        def fetcher():
+            frame = yield from pool.fetch(0)
+            pool.unpin(0)
+
+        sim.process(fetcher())
+        sim.process(fetcher())
+        sim.run()
+        assert pool.misses == misses_before + 1  # second fetch waited, then hit
+
+    def test_eviction_is_lru(self):
+        sim, __, __, pool = make_pool(capacity=4)
+        seed_pages(sim, pool, 8)
+
+        def proc():
+            for page_id in (0, 1, 2, 3):
+                yield from pool.fetch(page_id)
+                pool.unpin(page_id)
+            # touch 0 so 1 becomes LRU
+            yield from pool.fetch(0)
+            pool.unpin(0)
+            yield from pool.fetch(4)  # forces one eviction
+            pool.unpin(4)
+
+        sim.run_process(proc())
+        assert 1 not in pool.frames
+        assert 0 in pool.frames
+
+    def test_pinned_pages_never_evicted(self):
+        sim, __, __, pool = make_pool(capacity=4)
+        seed_pages(sim, pool, 8)
+        log = []
+
+        def pinner():
+            for page_id in (0, 1, 2):
+                yield from pool.fetch(page_id)
+            # hold pins; try to bring in 2 more pages than capacity allows
+            yield sim.timeout(1000)
+            for page_id in (0, 1, 2):
+                pool.unpin(page_id)
+            log.append("released")
+
+        def prober():
+            yield sim.timeout(10)
+            yield from pool.fetch(4)  # takes the only unpinned frame slot
+            yield from pool.fetch(5)  # needs a second frame: must wait
+            pool.unpin(4)
+            pool.unpin(5)
+            log.append(("prober-done", sim.now))
+
+        sim.process(pinner())
+        sim.process(prober())
+        sim.run()
+        # The prober could not proceed until the pinner released its pins.
+        assert log[0] == "released"
+        assert log[1][0] == "prober-done"
+
+
+class TestDirtyAndFlush:
+    def test_mark_dirty_requires_residency(self):
+        __, __, __, pool = make_pool()
+        with pytest.raises(KeyError):
+            pool.mark_dirty(0)
+
+    def test_dirty_listener_fires_once_per_dirtying(self):
+        sim, __, __, pool = make_pool()
+        seed_pages(sim, pool, 2)
+        events = []
+        pool.set_dirty_listener(lambda page_id, frame: events.append(page_id))
+
+        def proc():
+            frame = yield from pool.fetch(0)
+            pool.mark_dirty(0)
+            pool.mark_dirty(0)  # second mark on already-dirty: no event
+            pool.unpin(0)
+            yield from pool.flush_page(0)
+            frame = yield from pool.fetch(0)
+            pool.mark_dirty(0)  # re-dirty after clean: new event
+            pool.unpin(0)
+
+        sim.run_process(proc())
+        assert events == [0, 0]
+
+    def test_flush_respects_wal_rule(self):
+        sim, __, wal, pool = make_pool()
+        seed_pages(sim, pool, 1)
+
+        def proc():
+            frame = yield from pool.fetch(0)
+            lsn = wal.append("update", 1)
+            frame.page.lsn = lsn
+            pool.mark_dirty(0)
+            pool.unpin(0)
+            yield from pool.flush_page(0)
+            return lsn
+
+        lsn = sim.run_process(proc())
+        assert wal.flushed_lsn >= lsn
+
+    def test_flush_clean_page_is_noop(self):
+        sim, __, __, pool = make_pool()
+        seed_pages(sim, pool, 1)
+
+        def proc():
+            flushed = yield from pool.flush_page(0)
+            return flushed
+
+        assert sim.run_process(proc()) is False
+
+    def test_redirty_during_flush_stays_dirty(self):
+        sim, __, __, pool = make_pool(latency_us=100)
+        seed_pages(sim, pool, 1)
+
+        def flusher():
+            frame = yield from pool.fetch(0)
+            pool.mark_dirty(0)
+            pool.unpin(0)
+            yield from pool.flush_page(0)
+
+        def mutator():
+            yield sim.timeout(10)  # lands mid-flush
+            frame = yield from pool.fetch(0)
+            frame.page.insert(b"late-change")
+            pool.mark_dirty(0)
+            pool.unpin(0)
+
+        sim.process(flusher())
+        sim.process(mutator())
+        sim.run()
+        assert pool.frames[0].dirty  # the late change is not lost
+
+    def test_dirty_eviction_counts_stall(self):
+        sim, __, __, pool = make_pool(capacity=4)
+        seed_pages(sim, pool, 8)
+
+        def proc():
+            for page_id in range(4):
+                yield from pool.fetch(page_id)
+                pool.mark_dirty(page_id)
+                pool.unpin(page_id)
+            yield from pool.fetch(5)  # every victim dirty -> stall
+            pool.unpin(5)
+
+        sim.run_process(proc())
+        assert pool.dirty_eviction_stalls >= 1
+
+    def test_flush_all_checkpoints_everything(self):
+        sim, storage, __, pool = make_pool(capacity=8)
+        seed_pages(sim, pool, 4)
+
+        def proc():
+            for page_id in range(4):
+                frame = yield from pool.fetch(page_id)
+                frame.page.insert(b"mutation")
+                pool.mark_dirty(page_id)
+                pool.unpin(page_id)
+            yield from pool.flush_all()
+
+        sim.run_process(proc())
+        assert pool.dirty_count == 0
+
+    def test_snapshot_fields(self):
+        sim, __, __, pool = make_pool()
+        seed_pages(sim, pool, 1)
+        snap = pool.snapshot()
+        assert snap["capacity"] == 4
+        assert "hit_ratio" in snap

@@ -1,0 +1,161 @@
+"""Failure-injection tests: the stack under misbehaving NAND, plus the
+TPC-C consistency audit under a full concurrent run."""
+
+import random
+
+import pytest
+
+from repro.core import NoFTLConfig, NoFTLStorageManager, SyncNoFTLStorage
+from repro.db import Database, RAMStorageAdapter
+from repro.flash import (
+    EraseBlock,
+    FlashArray,
+    Geometry,
+    SLC_TIMING,
+    SyncExecutor,
+    SyncFlashDevice,
+    UncorrectableError,
+)
+from repro.ftl import FASTer, PageMapFTL
+from repro.sim import Simulator
+from repro.workloads import TPCC, run_workload
+
+GEO = Geometry(
+    channels=1,
+    chips_per_channel=1,
+    dies_per_chip=2,
+    planes_per_die=2,
+    blocks_per_plane=16,
+    pages_per_block=8,
+    page_bytes=512,
+)
+
+
+class TestFactoryBadBlocks:
+    @pytest.mark.parametrize("rate", [0.05, 0.2])
+    def test_noftl_full_lifecycle_with_bad_blocks(self, rate):
+        array = FlashArray(GEO, SLC_TIMING, initial_bad_block_rate=rate,
+                           rng=random.Random(7))
+        executor = SyncExecutor(SyncFlashDevice(array))
+        manager = NoFTLStorageManager(
+            GEO, NoFTLConfig(op_ratio=0.3),
+            factory_bad_blocks=array.factory_bad_blocks(),
+        )
+        storage = SyncNoFTLStorage(manager, executor)
+        rng = random.Random(1)
+        span = manager.logical_pages // 3
+        oracle = {}
+        for step in range(span * 5):
+            lpn = rng.randrange(span)
+            storage.write(lpn, data=(lpn, step))
+            oracle[lpn] = (lpn, step)
+        for lpn, expected in oracle.items():
+            assert storage.read(lpn) == expected
+        for pbn in array.factory_bad_blocks():
+            assert array.next_free_page(pbn) == 0  # untouched
+
+    def test_ftls_respect_bad_blocks(self):
+        array = FlashArray(GEO, SLC_TIMING, initial_bad_block_rate=0.15,
+                           rng=random.Random(5))
+        executor = SyncExecutor(SyncFlashDevice(array))
+        for ftl in (
+            PageMapFTL(GEO, op_ratio=0.3,
+                       bad_blocks=array.factory_bad_blocks()),
+        ):
+            rng = random.Random(2)
+            for step in range(300):
+                executor.run(ftl.write(rng.randrange(ftl.logical_pages // 3),
+                                       data=step))
+        for pbn in array.factory_bad_blocks():
+            assert array.next_free_page(pbn) == 0
+
+
+class TestWearOutStorm:
+    def test_noftl_survives_gradual_block_death(self):
+        """Blocks die as they pass the endurance limit; NoFTL keeps
+        serving reads/writes from the shrinking good population."""
+        array = FlashArray(GEO, SLC_TIMING, max_erase_cycles=5)
+        executor = SyncExecutor(SyncFlashDevice(array))
+        manager = NoFTLStorageManager(GEO, NoFTLConfig(op_ratio=0.5))
+        storage = SyncNoFTLStorage(manager, executor)
+        rng = random.Random(3)
+        span = manager.logical_pages // 4
+        oracle = {}
+        for step in range(span * 120):
+            lpn = rng.randrange(span)
+            storage.write(lpn, data=(lpn, step))
+            oracle[lpn] = (lpn, step)
+            if manager.stats.grown_bad_blocks >= 4:
+                break
+        assert manager.stats.grown_bad_blocks >= 1
+        assert manager.bad_blocks.health()["grown_bad"] >= 1
+        for lpn, expected in oracle.items():
+            assert storage.read(lpn) == expected
+
+
+class TestUncorrectableReads:
+    def test_ecc_failure_propagates_cleanly(self):
+        array = FlashArray(GEO, SLC_TIMING, read_error_rate=1.0,
+                           rng=random.Random(1))
+        executor = SyncExecutor(SyncFlashDevice(array))
+        manager = NoFTLStorageManager(GEO, NoFTLConfig(op_ratio=0.25))
+        storage = SyncNoFTLStorage(manager, executor)
+        storage.write(3, data=b"doomed")
+        with pytest.raises(UncorrectableError):
+            storage.read(3)
+        # the manager's state is still sane: other operations continue
+        storage.write(4, data=b"fine")
+
+    def test_ftl_op_generator_can_handle_ecc_error(self):
+        """The executor throws flash errors into the operation, so an FTL
+        (or host) retry policy can live inside the generator."""
+        array = FlashArray(GEO, SLC_TIMING)
+        executor = SyncExecutor(SyncFlashDevice(array))
+
+        from repro.flash import ProgramPage, ReadPage
+
+        def op_with_retry():
+            yield ProgramPage(ppn=0, data=b"v")
+            array.read_error_rate = 1.0
+            try:
+                yield ReadPage(ppn=0)
+            except UncorrectableError:
+                array.read_error_rate = 0.0  # "ECC recovered on retry"
+                result = yield ReadPage(ppn=0)
+                return ("recovered", result.data)
+            return ("clean", None)
+
+        assert executor.run(op_with_retry()) == ("recovered", b"v")
+
+
+class TestFASTerUnderBadBlocks:
+    def test_faster_with_factory_bad_blocks(self):
+        array = FlashArray(GEO, SLC_TIMING, initial_bad_block_rate=0.1,
+                           rng=random.Random(11))
+        executor = SyncExecutor(SyncFlashDevice(array))
+        ftl = FASTer(GEO, op_ratio=0.3, log_fraction=0.12,
+                     bad_blocks=array.factory_bad_blocks())
+        rng = random.Random(4)
+        span = ftl.logical_pages // 3
+        oracle = {}
+        for step in range(span * 4):
+            lpn = rng.randrange(span)
+            executor.run(ftl.write(lpn, data=(lpn, step)))
+            oracle[lpn] = (lpn, step)
+        for lpn, expected in oracle.items():
+            assert executor.run(ftl.read(lpn)) == expected
+
+
+class TestTPCCConsistency:
+    def test_full_concurrent_run_stays_consistent(self):
+        sim = Simulator()
+        storage = RAMStorageAdapter(sim, logical_pages=60_000,
+                                    latency_us=40.0)
+        db = Database(sim, storage, page_bytes=2048, buffer_capacity=400,
+                      cpu_us_per_op=2.0)
+        db.start_writers(4, policy="global")
+        workload = TPCC(warehouses=2, customers_per_district=30, items=80)
+        stats = run_workload(sim, db, workload, duration_us=1_500_000,
+                             num_terminals=12, rng=random.Random(9))
+        assert stats.commits > 100
+        assert sim.run_process(workload.verify_consistency(db))

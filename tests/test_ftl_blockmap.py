@@ -1,0 +1,87 @@
+"""Tests for the classic block-mapping FTL baseline."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash import FlashArray, Geometry, SLC_TIMING, SyncExecutor, SyncFlashDevice
+from repro.ftl import BlockMapFTL, PageMapFTL
+
+GEO = Geometry(
+    channels=1,
+    chips_per_channel=1,
+    dies_per_chip=2,
+    planes_per_die=2,
+    blocks_per_plane=16,
+    pages_per_block=8,
+    page_bytes=512,
+)
+
+
+def make_ftl():
+    array = FlashArray(GEO, SLC_TIMING)
+    executor = SyncExecutor(SyncFlashDevice(array))
+    return BlockMapFTL(GEO, op_ratio=0.25), executor, array
+
+
+def test_roundtrip():
+    ftl, executor, __ = make_ftl()
+    executor.run(ftl.write(5, data=b"five"))
+    assert executor.run(ftl.read(5)) == b"five"
+
+
+def test_unwritten_returns_none():
+    ftl, executor, __ = make_ftl()
+    assert executor.run(ftl.read(2)) is None
+
+
+def test_sequential_fill_is_in_place():
+    ftl, executor, array = make_ftl()
+    for lpn in range(GEO.pages_per_block):
+        executor.run(ftl.write(lpn, data=lpn))
+    assert array.counters.erases == 0
+    assert ftl.stats.gc_relocations == 0
+
+
+def test_update_forces_read_modify_write():
+    ftl, executor, array = make_ftl()
+    for lpn in range(GEO.pages_per_block):
+        executor.run(ftl.write(lpn, data=("v0", lpn)))
+    executor.run(ftl.write(0, data="v1"))
+    assert array.counters.erases == 1
+    assert ftl.stats.gc_relocations == GEO.pages_per_block - 1
+    assert executor.run(ftl.read(0)) == "v1"
+    assert executor.run(ftl.read(3)) == ("v0", 3)
+
+
+def test_block_map_has_worse_wa_than_page_map():
+    rng = random.Random(7)
+    span = 64
+    trace = [rng.randrange(span) for __ in range(800)]
+
+    def run(ftl):
+        executor = SyncExecutor(SyncFlashDevice(FlashArray(GEO, SLC_TIMING)))
+        for lpn in range(span):
+            executor.run(ftl.write(lpn, data=lpn))
+        for lpn in trace:
+            executor.run(ftl.write(lpn, data=b"u"))
+        return ftl.stats.write_amplification
+
+    assert run(BlockMapFTL(GEO, op_ratio=0.25)) > \
+        run(PageMapFTL(GEO, op_ratio=0.25))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_blockmap_never_loses_data(seed):
+    ftl, executor, __ = make_ftl()
+    rng = random.Random(seed)
+    span = ftl.logical_pages // 3
+    oracle = {}
+    for step in range(span * 3):
+        lpn = rng.randrange(span)
+        executor.run(ftl.write(lpn, data=(lpn, step)))
+        oracle[lpn] = (lpn, step)
+    for lpn, expected in oracle.items():
+        assert executor.run(ftl.read(lpn)) == expected

@@ -1,0 +1,168 @@
+"""Tests for DFTL (demand-based cached page mapping)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash import FlashArray, Geometry, SLC_TIMING, SyncExecutor, SyncFlashDevice
+from repro.ftl import DFTL, PageMapFTL
+
+GEO = Geometry(
+    channels=1,
+    chips_per_channel=1,
+    dies_per_chip=2,
+    planes_per_die=2,
+    blocks_per_plane=16,
+    pages_per_block=8,
+    page_bytes=512,
+)
+
+
+def make_dftl(**kwargs):
+    array = FlashArray(GEO, SLC_TIMING)
+    executor = SyncExecutor(SyncFlashDevice(array))
+    defaults = dict(op_ratio=0.25, cmt_entries=16,
+                    entries_per_translation_page=8)
+    defaults.update(kwargs)
+    return DFTL(GEO, **defaults), executor, array
+
+
+class TestBasicIO:
+    def test_roundtrip(self):
+        ftl, executor, __ = make_dftl()
+        executor.run(ftl.write(3, data=b"three"))
+        assert executor.run(ftl.read(3)) == b"three"
+
+    def test_read_unwritten_returns_none(self):
+        ftl, executor, __ = make_dftl()
+        assert executor.run(ftl.read(9)) is None
+
+    def test_overwrite_returns_newest(self):
+        ftl, executor, __ = make_dftl()
+        executor.run(ftl.write(4, data="old"))
+        executor.run(ftl.write(4, data="new"))
+        assert executor.run(ftl.read(4)) == "new"
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            make_dftl(cmt_entries=0)
+
+
+class TestCMTBehaviour:
+    def test_hits_within_cmt_capacity_cost_no_map_reads(self):
+        ftl, executor, __ = make_dftl(cmt_entries=64)
+        for lpn in range(8):
+            executor.run(ftl.write(lpn, data=lpn))
+        before = ftl.stats.map_reads
+        for __ in range(20):
+            for lpn in range(8):
+                executor.run(ftl.read(lpn))
+        assert ftl.stats.map_reads == before  # all CMT hits
+        assert ftl.cmt_hit_ratio > 0.5
+
+    def test_thrashing_working_set_causes_map_io(self):
+        ftl, executor, __ = make_dftl(cmt_entries=4)
+        span = 40
+        for lpn in range(span):
+            executor.run(ftl.write(lpn, data=lpn))
+        baseline = ftl.stats.map_reads
+        rng = random.Random(0)
+        for __ in range(200):
+            executor.run(ftl.read(rng.randrange(span)))
+        assert ftl.stats.map_reads > baseline
+
+    def test_dirty_eviction_writes_translation_page(self):
+        ftl, executor, __ = make_dftl(cmt_entries=2)
+        # Write pages in different translation pages to force dirty evictions.
+        for lpn in (0, 8, 16, 24):
+            executor.run(ftl.write(lpn, data=lpn))
+        assert ftl.stats.map_programs > 0
+
+    def test_batched_writeback_cleans_sibling_entries(self):
+        ftl, executor, __ = make_dftl(cmt_entries=4,
+                                      entries_per_translation_page=8)
+        # Four dirty entries, all in translation page 0.
+        for lpn in (0, 1, 2, 3):
+            executor.run(ftl.write(lpn, data=lpn))
+        programs_before = ftl.stats.map_programs
+        # Touch a fifth lpn from another TP: one eviction flushes TP 0 once.
+        executor.run(ftl.write(20, data=20))
+        assert ftl.stats.map_programs == programs_before + 1
+        # The remaining cached entries of TP 0 are now clean: evicting them
+        # causes no further TP writes.
+        for lpn in (30, 38, 46):
+            executor.run(ftl.read(lpn))
+        assert ftl.stats.map_programs == programs_before + 1
+
+    def test_is_fast_read_tracks_cache_residency(self):
+        ftl, executor, __ = make_dftl(cmt_entries=2)
+        executor.run(ftl.write(0, data=0))
+        assert ftl.is_fast_read(0)
+        executor.run(ftl.write(8, data=1))
+        executor.run(ftl.write(16, data=2))
+        assert not ftl.is_fast_read(0)  # evicted
+
+
+class TestDFTLvsPageMap:
+    def test_dftl_costs_more_flash_reads_when_thrashing(self):
+        """The essence of bench E5: with a working set far above the CMT,
+        DFTL pays translation I/O that pure page mapping never does."""
+        rng_trace = random.Random(42)
+        span = 300
+        trace = [rng_trace.randrange(span) for __ in range(3000)]
+
+        def run(ftl_cls, **kwargs):
+            array = FlashArray(GEO, SLC_TIMING)
+            executor = SyncExecutor(SyncFlashDevice(array))
+            ftl = ftl_cls(GEO, op_ratio=0.25, **kwargs)
+            for lpn in range(span):
+                executor.run(ftl.write(lpn, data=lpn))
+            for lpn in trace:
+                executor.run(ftl.read(lpn))
+            return array.counters.reads
+
+        page_map_reads = run(PageMapFTL)
+        dftl_reads = run(DFTL, cmt_entries=8, entries_per_translation_page=8)
+        assert dftl_reads > page_map_reads * 1.3
+
+    def test_gc_relocation_of_uncached_mapping_costs_tp_update(self):
+        ftl, executor, __ = make_dftl(cmt_entries=4)
+        rng = random.Random(5)
+        span = int(ftl.logical_pages * 0.7)
+        for lpn in range(span):
+            executor.run(ftl.write(lpn, data=lpn))
+        map_programs_before = ftl.stats.map_programs
+        for __ in range(span * 6):
+            executor.run(ftl.write(rng.randrange(span), data=b"u"))
+        assert ftl.stats.gc_erases > 0
+        assert ftl.stats.map_programs > map_programs_before
+
+
+class TestTrim:
+    def test_trim_unmaps(self):
+        ftl, executor, __ = make_dftl()
+        executor.run(ftl.write(5, data=b"z"))
+        executor.run(ftl.trim(5))
+        assert executor.run(ftl.read(5)) is None
+
+    def test_trim_of_unwritten_is_noop(self):
+        ftl, executor, __ = make_dftl()
+        executor.run(ftl.trim(5))
+        assert ftl.stats.host_trims == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_dftl_never_loses_data_under_gc_and_thrashing(seed):
+    ftl, executor, __ = make_dftl(cmt_entries=6)
+    rng = random.Random(seed)
+    span = int(ftl.logical_pages * 0.6)
+    oracle = {}
+    for step in range(span * 5):
+        lpn = rng.randrange(span)
+        executor.run(ftl.write(lpn, data=(lpn, step)))
+        oracle[lpn] = (lpn, step)
+    for lpn, expected in oracle.items():
+        assert executor.run(ftl.read(lpn)) == expected

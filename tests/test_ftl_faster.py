@@ -1,0 +1,162 @@
+"""Tests for the FASTer hybrid log-block FTL."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash import FlashArray, Geometry, SLC_TIMING, SyncExecutor, SyncFlashDevice
+from repro.ftl import FASTer, PageMapFTL
+
+GEO = Geometry(
+    channels=1,
+    chips_per_channel=1,
+    dies_per_chip=2,
+    planes_per_die=2,
+    blocks_per_plane=16,
+    pages_per_block=8,
+    page_bytes=512,
+)
+
+
+def make_faster(**kwargs):
+    array = FlashArray(GEO, SLC_TIMING)
+    executor = SyncExecutor(SyncFlashDevice(array))
+    defaults = dict(op_ratio=0.25, log_fraction=0.1)
+    defaults.update(kwargs)
+    return FASTer(GEO, **defaults), executor, array
+
+
+class TestBasicIO:
+    def test_roundtrip(self):
+        ftl, executor, __ = make_faster()
+        executor.run(ftl.write(11, data=b"eleven"))
+        assert executor.run(ftl.read(11)) == b"eleven"
+
+    def test_unwritten_returns_none(self):
+        ftl, executor, __ = make_faster()
+        assert executor.run(ftl.read(0)) is None
+
+    def test_fresh_sequential_fill_goes_in_place(self):
+        ftl, executor, __ = make_faster(use_sw_log=False)
+        for lpn in range(GEO.pages_per_block):
+            executor.run(ftl.write(lpn, data=lpn))
+        # All writes appended into the data block: no merges, no log traffic.
+        assert ftl.stats.merges_full == 0
+        assert ftl.log_occupancy()["live_log_entries"] == 0
+
+    def test_random_update_goes_to_log(self):
+        ftl, executor, __ = make_faster(use_sw_log=False)
+        for lpn in range(GEO.pages_per_block):
+            executor.run(ftl.write(lpn, data=("v0", lpn)))
+        executor.run(ftl.write(3, data="v1"))
+        assert ftl.log_occupancy()["live_log_entries"] == 1
+        assert executor.run(ftl.read(3)) == "v1"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            make_faster(log_fraction=0.9)
+        with pytest.raises(ValueError):
+            make_faster(migration_cap_fraction=1.5)
+
+
+class TestMerges:
+    def test_log_pressure_triggers_full_merges(self):
+        ftl, executor, __ = make_faster(use_sw_log=False, second_chance=False)
+        rng = random.Random(0)
+        span = ftl.logical_pages // 2
+        for lpn in range(span):
+            executor.run(ftl.write(lpn, data=lpn))
+        for __ in range(span * 4):
+            executor.run(ftl.write(rng.randrange(span), data=b"u"))
+        assert ftl.stats.merges_full > 0
+        assert ftl.stats.gc_relocations > 0
+        assert ftl.stats.gc_erases > 0
+
+    def test_switch_merge_for_sequential_rewrite(self):
+        ftl, executor, __ = make_faster(use_sw_log=True)
+        pages_per_block = GEO.pages_per_block
+        for lpn in range(pages_per_block):
+            executor.run(ftl.write(lpn, data=("v0", lpn)))
+        # Rewrite the whole logical block sequentially: one switch merge.
+        for lpn in range(pages_per_block):
+            executor.run(ftl.write(lpn, data=("v1", lpn)))
+        assert ftl.stats.merges_switch >= 1
+        assert ftl.stats.merges_full == 0
+        for lpn in range(pages_per_block):
+            assert executor.run(ftl.read(lpn)) == ("v1", lpn)
+
+    def test_interrupted_sequence_partial_merge(self):
+        ftl, executor, __ = make_faster(use_sw_log=True)
+        pages_per_block = GEO.pages_per_block
+        for lpn in range(pages_per_block * 2):
+            executor.run(ftl.write(lpn, data=("v0", lpn)))
+        # Start rewriting block 0 sequentially, then jump to block 1.
+        executor.run(ftl.write(0, data="v1"))
+        executor.run(ftl.write(1, data="v1"))
+        executor.run(ftl.write(pages_per_block, data="v1"))  # breaks sequence
+        assert ftl.stats.merges_partial >= 1
+        assert executor.run(ftl.read(0)) == "v1"
+        assert executor.run(ftl.read(2)) == ("v0", 2)
+
+    def test_second_chance_defers_merges(self):
+        """FASTer vs FAST: with a hot working set, second-chance migration
+        avoids full merges of hot blocks."""
+        def run(second_chance):
+            ftl, executor, __ = make_faster(use_sw_log=False,
+                                            second_chance=second_chance)
+            rng = random.Random(9)
+            span = ftl.logical_pages // 2
+            for lpn in range(span):
+                executor.run(ftl.write(lpn, data=lpn))
+            hot = max(8, span // 10)
+            for __ in range(span * 6):
+                executor.run(ftl.write(rng.randrange(hot), data=b"h"))
+            return ftl.stats
+
+        faster_stats = run(second_chance=True)
+        fast_stats = run(second_chance=False)
+        assert faster_stats.second_chances > 0
+        assert faster_stats.merges_full <= fast_stats.merges_full
+
+
+class TestFig3Shape:
+    def test_faster_relocates_more_than_pagemap_on_oltp_like_trace(self):
+        """Pre-check of Figure 3's direction: FASTer's merge traffic exceeds
+        page-level GC traffic on a skewed update stream."""
+        rng = random.Random(123)
+        span = 300
+        trace = [rng.randrange(span) if rng.random() < 0.8
+                 else rng.randrange(span // 5)
+                 for __ in range(4000)]
+
+        def run(ftl):
+            array = FlashArray(GEO, SLC_TIMING)
+            executor = SyncExecutor(SyncFlashDevice(array))
+            for lpn in range(span):
+                executor.run(ftl.write(lpn, data=lpn))
+            for lpn in trace:
+                executor.run(ftl.write(lpn, data=b"u"))
+            return ftl.stats, array.counters
+
+        faster_stats, faster_counters = run(FASTer(GEO, op_ratio=0.25,
+                                                   log_fraction=0.1))
+        pm_stats, pm_counters = run(PageMapFTL(GEO, op_ratio=0.25))
+        assert faster_stats.gc_relocations > pm_stats.gc_relocations
+        assert faster_stats.gc_erases > pm_stats.gc_erases
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), sw=st.booleans(), sc=st.booleans())
+def test_faster_never_loses_data(seed, sw, sc):
+    ftl, executor, __ = make_faster(use_sw_log=sw, second_chance=sc)
+    rng = random.Random(seed)
+    span = int(ftl.logical_pages * 0.6)
+    oracle = {}
+    for step in range(span * 5):
+        lpn = rng.randrange(span)
+        executor.run(ftl.write(lpn, data=(lpn, step)))
+        oracle[lpn] = (lpn, step)
+    for lpn, expected in oracle.items():
+        assert executor.run(ftl.read(lpn)) == expected

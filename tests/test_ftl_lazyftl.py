@@ -1,0 +1,141 @@
+"""Tests for LazyFTL (lazy batch-persisted page mapping)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash import FlashArray, Geometry, SLC_TIMING, SyncExecutor, SyncFlashDevice
+from repro.ftl import DFTL, LazyFTL
+
+GEO = Geometry(
+    channels=1,
+    chips_per_channel=1,
+    dies_per_chip=2,
+    planes_per_die=2,
+    blocks_per_plane=16,
+    pages_per_block=8,
+    page_bytes=512,
+)
+
+
+def make_lazy(**kwargs):
+    array = FlashArray(GEO, SLC_TIMING)
+    executor = SyncExecutor(SyncFlashDevice(array))
+    defaults = dict(op_ratio=0.25, umt_entries=16, read_cache_entries=16,
+                    entries_per_translation_page=8)
+    defaults.update(kwargs)
+    return LazyFTL(GEO, **defaults), executor, array
+
+
+class TestBasicIO:
+    def test_roundtrip(self):
+        ftl, executor, __ = make_lazy()
+        executor.run(ftl.write(3, data=b"three"))
+        assert executor.run(ftl.read(3)) == b"three"
+
+    def test_unwritten_returns_none(self):
+        ftl, executor, __ = make_lazy()
+        assert executor.run(ftl.read(7)) is None
+
+    def test_overwrite_newest_wins(self):
+        ftl, executor, __ = make_lazy()
+        executor.run(ftl.write(4, data="old"))
+        executor.run(ftl.write(4, data="new"))
+        assert executor.run(ftl.read(4)) == "new"
+
+    def test_trim(self):
+        ftl, executor, __ = make_lazy()
+        executor.run(ftl.write(5, data=b"z"))
+        executor.run(ftl.trim(5))
+        assert executor.run(ftl.read(5)) is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            make_lazy(umt_entries=0)
+
+
+class TestLaziness:
+    def test_writes_within_budget_cost_no_map_io(self):
+        ftl, executor, __ = make_lazy(umt_entries=64)
+        for lpn in range(20):
+            executor.run(ftl.write(lpn, data=lpn))
+        assert ftl.stats.map_programs == 0
+        assert ftl.umt_fill == 20
+
+    def test_overflow_flushes_in_tp_batches(self):
+        ftl, executor, __ = make_lazy(umt_entries=16,
+                                      entries_per_translation_page=8)
+        # 17 updates covering 3 translation pages -> one flush of 3 TPs
+        for lpn in range(17):
+            executor.run(ftl.write(lpn, data=lpn))
+        assert ftl.umt_flushes == 1
+        assert ftl.stats.map_programs == 3  # one per TP, not per mapping
+        assert ftl.umt_fill == 0
+
+    def test_read_of_lazy_mapping_is_fast(self):
+        ftl, executor, __ = make_lazy()
+        executor.run(ftl.write(2, data=b"x"))
+        before = ftl.stats.map_reads
+        executor.run(ftl.read(2))
+        assert ftl.stats.map_reads == before  # UMT hit
+        assert ftl.is_fast_read(2)
+
+    def test_cold_read_pays_one_tp_read(self):
+        ftl, executor, __ = make_lazy(umt_entries=4, read_cache_entries=2)
+        for lpn in range(12):
+            executor.run(ftl.write(lpn, data=lpn))
+        # lpn 0 long persisted and pushed out of every cache
+        for lpn in range(4, 12):
+            executor.run(ftl.read(lpn))
+        before = ftl.stats.map_reads
+        assert executor.run(ftl.read(0)) == 0
+        assert ftl.stats.map_reads == before + 1
+
+    def test_lazy_beats_dftl_on_map_writes(self):
+        """The comparison the literature draws: identical update stream,
+        LazyFTL amortizes translation programs that DFTL pays eagerly."""
+        rng = random.Random(4)
+        span = 200
+        trace = [rng.randrange(span) for __ in range(2500)]
+
+        def run(ftl):
+            executor = SyncExecutor(SyncFlashDevice(FlashArray(GEO,
+                                                               SLC_TIMING)))
+            for lpn in range(span):
+                executor.run(ftl.write(lpn, data=lpn))
+            for lpn in trace:
+                executor.run(ftl.write(lpn, data=b"u"))
+            return ftl.stats.map_programs
+
+        lazy_programs = run(LazyFTL(GEO, op_ratio=0.25, umt_entries=64,
+                                    entries_per_translation_page=8))
+        dftl_programs = run(DFTL(GEO, op_ratio=0.25, cmt_entries=64,
+                                 entries_per_translation_page=8))
+        assert lazy_programs < dftl_programs
+
+    def test_gc_relocations_stay_lazy(self):
+        ftl, executor, __ = make_lazy(umt_entries=512)
+        rng = random.Random(9)
+        span = int(ftl.logical_pages * 0.7)
+        for __ in range(ftl.logical_pages * 5):
+            executor.run(ftl.write(rng.randrange(span), data=b"x"))
+        assert ftl.stats.gc_erases > 0
+        # GC-induced map traffic exists only through batch flushes.
+        assert ftl.stats.map_programs <= ftl.umt_flushes * ftl.num_tvpns
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_lazyftl_never_loses_data(seed):
+    ftl, executor, __ = make_lazy(umt_entries=8)
+    rng = random.Random(seed)
+    span = int(ftl.logical_pages * 0.6)
+    oracle = {}
+    for step in range(span * 5):
+        lpn = rng.randrange(span)
+        executor.run(ftl.write(lpn, data=(lpn, step)))
+        oracle[lpn] = (lpn, step)
+    for lpn, expected in oracle.items():
+        assert executor.run(ftl.read(lpn)) == expected

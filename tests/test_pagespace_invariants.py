@@ -1,0 +1,136 @@
+"""Property tests for the page-mapped space's structural invariants —
+the engine both PageMapFTL and NoFTL stand on."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash import FlashArray, Geometry, SLC_TIMING, SyncExecutor, SyncFlashDevice
+from repro.ftl.base import FTLStats, MappingState, UNMAPPED
+from repro.ftl.pagespace import PageMappedSpace
+
+GEO = Geometry(
+    channels=1,
+    chips_per_channel=1,
+    dies_per_chip=2,
+    planes_per_die=2,
+    blocks_per_plane=8,
+    pages_per_block=8,
+    page_bytes=512,
+)
+
+
+def make_space(**kwargs):
+    array = FlashArray(GEO, SLC_TIMING)
+    executor = SyncExecutor(SyncFlashDevice(array))
+    logical = int(GEO.total_pages * 0.7)
+    mapping = MappingState(GEO, logical)
+    stats = FTLStats()
+    planes = [(die, plane) for die in range(GEO.total_dies)
+              for plane in range(GEO.planes_per_die)]
+    space = PageMappedSpace(GEO, mapping, planes, stats, **kwargs)
+    return space, mapping, executor, array, logical
+
+
+def check_invariants(space, mapping, array, oracle):
+    """The structural truths that must hold after ANY operation mix."""
+    # 1. l2p/p2l are mutual inverses over live pages.
+    live = 0
+    for lpn in range(mapping.logical_pages):
+        ppn = mapping.lookup(lpn)
+        if ppn != UNMAPPED:
+            assert mapping.p2l[ppn] == lpn
+            live += 1
+    assert live == sum(1 for v in oracle.values() if v is not None)
+    # 2. valid_in_block sums to the number of live pages.
+    assert mapping.total_valid() == live
+    # 3. every mapped page is actually programmed on the array.
+    for lpn in range(mapping.logical_pages):
+        ppn = mapping.lookup(lpn)
+        if ppn != UNMAPPED:
+            assert array.is_programmed(ppn)
+    # 4. block accounting: pool, occupied and active blocks are disjoint
+    # and cover each plane.
+    for plane_id, plane in space._planes.items():
+        die, plane_index = plane_id
+        blocks = set(GEO.blocks_of_plane(die, plane_index))
+        pool = set(plane.pool.peek_free())
+        active = {entry[0] for entry in plane.active.values()
+                  if entry is not None}
+        assert pool.isdisjoint(plane.occupied)
+        assert pool.isdisjoint(active)
+        assert active.isdisjoint(plane.occupied)
+        assert pool | plane.occupied | active <= blocks
+        # 5. pool blocks hold no valid data.
+        for pbn in pool:
+            assert mapping.valid_in_block[pbn] == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       policy=st.sampled_from(["greedy", "cost_benefit"]),
+       streams=st.booleans(),
+       copyback=st.booleans())
+def test_space_invariants_hold_under_arbitrary_mixes(seed, policy, streams,
+                                                     copyback):
+    space, mapping, executor, array, logical = make_space(
+        gc_policy=policy, separate_streams=streams, use_copyback=copyback)
+    rng = random.Random(seed)
+    span = int(logical * 0.8)
+    oracle = {}
+    for step in range(span * 4):
+        lpn = rng.randrange(span)
+        action = rng.random()
+        if action < 0.8 or oracle.get(lpn) is None:
+            executor.run(space.write(lpn, data=(lpn, step)))
+            oracle[lpn] = (lpn, step)
+        else:
+            space.trim(lpn)
+            oracle[lpn] = None
+    check_invariants(space, mapping, array, oracle)
+    for lpn, expected in oracle.items():
+        got = executor.run(space.read(lpn))
+        assert got == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_wear_leveling_preserves_data_and_invariants(seed):
+    space, mapping, executor, array, logical = make_space(
+        wear_level_delta=4, wear_level_check_every=8)
+    rng = random.Random(seed)
+    hot = max(4, logical // 10)
+    oracle = {}
+    for step in range(logical * 6):
+        lpn = rng.randrange(hot)
+        executor.run(space.write(lpn, data=(lpn, step)))
+        oracle[lpn] = (lpn, step)
+    check_invariants(space, mapping, array, oracle)
+    for lpn, expected in oracle.items():
+        assert executor.run(space.read(lpn)) == expected
+
+
+def test_rebuild_allocation_restores_consistency():
+    """After a simulated power loss, rebuild_allocation must leave the
+    pools consistent with the array's programmed state."""
+    space, mapping, executor, array, logical = make_space()
+    rng = random.Random(5)
+    for step in range(logical * 3):
+        executor.run(space.write(rng.randrange(logical // 2), data=step))
+    programmed = {
+        pbn for pbn in range(GEO.total_blocks)
+        if any(array.is_programmed(GEO.ppn_of(pbn, off))
+               for off in range(GEO.pages_per_block))
+    }
+    space.rebuild_allocation(programmed)
+    for plane_id, plane in space._planes.items():
+        for pbn in plane.pool.peek_free():
+            assert pbn not in programmed
+        for pbn in plane.occupied:
+            assert pbn in programmed
+    # and the space still works
+    for step in range(logical):
+        executor.run(space.write(rng.randrange(logical // 2),
+                                 data=("post", step)))

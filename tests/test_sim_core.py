@@ -1,0 +1,265 @@
+"""Unit tests for the DES kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import AnyOf, Interrupt, Simulator
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5)
+        yield sim.timeout(7.5)
+        return sim.now
+
+    assert sim.run_process(proc()) == 12.5
+    assert sim.now == 12.5
+
+
+def test_zero_delay_timeout_runs_in_order():
+    sim = Simulator()
+    order = []
+
+    def proc(name):
+        yield sim.timeout(0)
+        order.append(name)
+
+    sim.process(proc("a"))
+    sim.process(proc("b"))
+    sim.run()
+    assert order == ["a", "b"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+
+    def proc():
+        value = yield sim.timeout(1, value="hello")
+        return value
+
+    assert sim.run_process(proc()) == "hello"
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((sim.now, value))
+
+    def opener():
+        yield sim.timeout(3)
+        gate.succeed(42)
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert log == [(3, 42)]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    def failer():
+        yield sim.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    proc = sim.process(waiter())
+    sim.process(failer())
+    sim.run()
+    assert proc.value == "caught boom"
+
+
+def test_process_return_value_propagates_through_subprocess():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(2)
+        return "inner-done"
+
+    def outer():
+        result = yield sim.process(inner())
+        return result + "!"
+
+    assert sim.run_process(outer()) == "inner-done!"
+
+
+def test_yield_from_composition():
+    sim = Simulator()
+
+    def step(delay):
+        yield sim.timeout(delay)
+        return delay * 10
+
+    def whole():
+        a = yield from step(1)
+        b = yield from step(2)
+        return a + b
+
+    assert sim.run_process(whole()) == 30
+    assert sim.now == 3
+
+
+def test_waiting_on_already_processed_event():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed("early")
+
+    def late_waiter():
+        yield sim.timeout(5)
+        value = yield gate
+        return value
+
+    assert sim.run_process(late_waiter()) == "early"
+    assert sim.now == 5
+
+
+def test_exception_in_process_propagates_from_run_process():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("kaput")
+
+    with pytest.raises(RuntimeError, match="kaput"):
+        sim.run_process(bad())
+
+
+def test_run_until_stops_the_clock():
+    sim = Simulator()
+    hits = []
+
+    def ticker():
+        while True:
+            yield sim.timeout(10)
+            hits.append(sim.now)
+
+    sim.process(ticker())
+    sim.run(until=35)
+    assert hits == [10, 20, 30]
+    assert sim.now == 35
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run_process(iter_timeout(sim, 10))
+    with pytest.raises(ValueError):
+        sim.run(until=5)
+
+
+def iter_timeout(sim, delay):
+    yield sim.timeout(delay)
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+
+    def proc():
+        fast = sim.timeout(1, value="fast")
+        slow = sim.timeout(100, value="slow")
+        fired = yield AnyOf(sim, [fast, slow])
+        return list(fired.values())
+
+    assert sim.run_process(proc()) == ["fast"]
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc():
+        first = sim.timeout(1, value=1)
+        second = sim.timeout(5, value=2)
+        fired = yield sim.all_of([first, second])
+        return sorted(fired.values()), sim.now
+
+    values, when = sim.run_process(proc())
+    assert values == [1, 2]
+    assert when == 5
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt as exc:
+            log.append((sim.now, exc.cause))
+
+    def interrupter(target):
+        yield sim.timeout(3)
+        target.interrupt("wake-up")
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [(3, "wake-up")]
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_determinism_same_seed_same_schedule():
+    import random
+
+    def build_and_run():
+        sim = Simulator()
+        rng = random.Random(7)
+        trace = []
+
+        def worker(name):
+            for __ in range(5):
+                yield sim.timeout(rng.randint(1, 9))
+                trace.append((sim.now, name))
+
+        for i in range(3):
+            sim.process(worker(f"w{i}"))
+        sim.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,179 @@
+"""Tests for the workload kits: loading, mixes, invariants, trace record."""
+
+import random
+
+import pytest
+
+from repro.db import Database, RAMStorageAdapter
+from repro.sim import Simulator
+from repro.workloads import (
+    IOTrace,
+    SyntheticSpec,
+    TPCB,
+    TPCC,
+    TPCE,
+    TPCH,
+    TraceRecordingAdapter,
+    run_synthetic,
+    run_workload,
+)
+
+
+def make_db(logical_pages=40_000, buffer_capacity=300, trace=False):
+    sim = Simulator()
+    storage = RAMStorageAdapter(sim, logical_pages=logical_pages,
+                                latency_us=40.0)
+    if trace:
+        storage = TraceRecordingAdapter(storage)
+    db = Database(sim, storage, page_bytes=2048,
+                  buffer_capacity=buffer_capacity, cpu_us_per_op=2.0)
+    return sim, db, storage
+
+
+class TestTPCB:
+    def test_load_populates_tables(self):
+        sim, db, __ = make_db()
+        workload = TPCB(sf=1, accounts_per_branch=100)
+        sim.run_process(workload.load(db))
+        assert db.heaps["tpcb_accounts"].record_count == 100
+        assert db.heaps["tpcb_tellers"].record_count == 10
+        assert db.heaps["tpcb_branches"].record_count == 1
+
+    def test_run_commits_and_stays_consistent(self):
+        sim, db, __ = make_db()
+        db.start_writers(2, policy="global")
+        workload = TPCB(sf=2, accounts_per_branch=200)
+        stats = run_workload(sim, db, workload, duration_us=500_000,
+                             num_terminals=6, rng=random.Random(3))
+        assert stats.commits > 50
+        assert stats.tps > 0
+        assert sim.run_process(workload.verify_consistency(db))
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            TPCB(sf=0)
+
+
+class TestTPCC:
+    def test_load_schema(self):
+        sim, db, __ = make_db()
+        workload = TPCC(warehouses=1, customers_per_district=10, items=30,
+                        initial_orders_per_district=3)
+        sim.run_process(workload.load(db))
+        assert db.heaps["tpcc_customer"].record_count == 100
+        assert db.heaps["tpcc_stock"].record_count == 30
+        assert db.heaps["tpcc_order"].record_count == 30
+        assert db.heaps["tpcc_new_order"].record_count == 30
+
+    def test_mix_runs_all_types(self):
+        sim, db, __ = make_db()
+        db.start_writers(2, policy="global")
+        workload = TPCC(warehouses=1, customers_per_district=20, items=50)
+        stats = run_workload(sim, db, workload, duration_us=1_500_000,
+                             num_terminals=8, rng=random.Random(7))
+        assert stats.commits > 100
+        assert set(stats.per_type) == {
+            "new-order", "payment", "order-status", "delivery", "stock-level"
+        }
+
+    def test_new_order_advances_district_counter(self):
+        sim, db, __ = make_db()
+        workload = TPCC(warehouses=1, customers_per_district=10, items=30)
+        stats = run_workload(sim, db, workload, duration_us=400_000,
+                             num_terminals=4, rng=random.Random(1))
+        new_orders = stats.per_type.get("new-order", 0)
+        assert db.heaps["tpcc_order"].record_count >= new_orders
+
+
+class TestTPCE:
+    def test_load_and_run(self):
+        sim, db, __ = make_db()
+        db.start_writers(2, policy="global")
+        workload = TPCE(customers=100, securities=20)
+        stats = run_workload(sim, db, workload, duration_us=500_000,
+                             num_terminals=6, rng=random.Random(5))
+        assert stats.commits > 50
+        assert "trade-order" in stats.per_type
+        # TPC-E is read-heavy: lookups dominate the mix
+        reads = stats.per_type.get("trade-lookup", 0) \
+            + stats.per_type.get("customer-position", 0)
+        assert reads > stats.per_type.get("trade-order", 0)
+
+
+class TestTPCH:
+    def test_queries_return_results(self):
+        sim, db, __ = make_db()
+        workload = TPCH(customers=20, orders=60)
+        stats = run_workload(sim, db, workload, duration_us=1_000_000,
+                             num_terminals=2, rng=random.Random(2))
+        assert stats.commits > 0
+        assert set(stats.per_type) <= {"q1-aggregate", "q6-revenue", "q3-join"}
+
+
+class TestTraceRecording:
+    def test_trace_captures_flush_stream(self):
+        sim, db, storage = make_db(trace=True)
+        db.start_writers(2, policy="global")
+        workload = TPCB(sf=1, accounts_per_branch=200)
+        run_workload(sim, db, workload, duration_us=400_000,
+                     num_terminals=4, rng=random.Random(9))
+        sim.run_process(db.checkpoint())
+        counts = storage.trace.counts()
+        assert counts["writes"] > 0
+        assert storage.trace.max_page() < storage.logical_pages
+
+    def test_trace_op_kinds(self):
+        trace = IOTrace()
+        trace.append("w", 5)
+        trace.append("r", 5)
+        trace.append("t", 5)
+        assert trace.counts() == {"reads": 1, "writes": 1, "trims": 1}
+        assert len(trace) == 3
+
+
+class TestSynthetic:
+    def test_random_write_job_on_ram(self):
+        sim = Simulator()
+
+        class _RamVolume:
+            logical_pages = 128
+
+            def read(self, lpn):
+                yield sim.timeout(10)
+                return None
+
+            def write(self, lpn, data=None):
+                yield sim.timeout(25)
+
+        result = run_synthetic(sim, _RamVolume(),
+                               SyntheticSpec(pattern="random", ops=50,
+                                             queue_depth=4))
+        assert result.write_latency.count == 50
+        assert result.iops > 0
+
+    def test_read_fraction_splits_ops(self):
+        sim = Simulator()
+
+        class _RamVolume:
+            logical_pages = 64
+
+            def read(self, lpn):
+                yield sim.timeout(10)
+                return None
+
+            def write(self, lpn, data=None):
+                yield sim.timeout(25)
+
+        result = run_synthetic(
+            sim, _RamVolume(),
+            SyntheticSpec(pattern="random", ops=200, queue_depth=2,
+                          read_fraction=0.5, seed=3),
+        )
+        assert result.read_latency.count + result.write_latency.count == 200
+        assert result.read_latency.count > 40
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(pattern="zigzag")
+        with pytest.raises(ValueError):
+            SyntheticSpec(read_fraction=2.0)
