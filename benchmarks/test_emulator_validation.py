@@ -9,7 +9,8 @@ for parallel jobs.
 """
 
 from repro.bench import validate_emulator
-from repro.bench.reporting import emit, render_table
+from repro.bench.reporting import emit, export_metrics, render_table
+from repro.telemetry import sum_per_die
 
 
 def test_emulator_validation(benchmark):
@@ -34,3 +35,10 @@ def test_emulator_validation(benchmark):
     ), "copyback must beat read+program (no bus transfer)"
     assert report.row("cmd:erase").measured_us > \
         report.row("cmd:program").measured_us
+
+    # Telemetry artifact for CI: the combined registry must carry per-die
+    # command counts (the parallel scenario touches every die).
+    per_die_erases = sum_per_die(report.telemetry, "erase")
+    assert per_die_erases and all(n > 0 for n in per_die_erases.values())
+    path = export_metrics("emulator_validation", report.telemetry)
+    emit(f"telemetry snapshot written to {path}")

@@ -13,7 +13,7 @@ Absolute counts differ (short traces, scaled kits).
 """
 
 from repro.bench import fig3_gc_overhead
-from repro.bench.reporting import emit, render_table
+from repro.bench.reporting import emit, export_metrics, render_table
 
 PAPER_RELATIVE = {
     ("tpcc", "COPYBACK"): 1.98,
@@ -69,3 +69,7 @@ def test_fig3_gc_overhead(benchmark, scale):
         )
         # Magnitude: the paper's ~2x copyback factor within a loose band.
         assert 1.2 < copyback.relative < 8.0
+
+    # Per-target replay reports (with per-die command breakdowns sourced
+    # from the flash telemetry registries) as a CI artifact.
+    export_metrics("fig3_gc_overhead", result.reports)

@@ -7,7 +7,6 @@ over FASTer.  TPC-E and TPC-H are the demo's other selectable kits and
 run here as secondary checks.
 """
 
-import pytest
 
 from repro.bench import headline_throughput
 from repro.bench.reporting import emit, render_table

@@ -17,7 +17,7 @@ erases, write amplification and (serialized) device busy time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from ..core import NoFTLConfig
 from ..workloads import replay_trace

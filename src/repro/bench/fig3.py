@@ -152,6 +152,11 @@ def fig3_gc_overhead(workloads=("tpcc", "tpcb", "tpce"),
             "FASTer": faster_report.as_dict(),
             "NoFTL": noftl_report.as_dict(),
         }
+        # Both axes come from each rig's shared telemetry registry: the
+        # COPYBACK row counts page relocations (``ftl.relocations`` —
+        # what the paper's hardware issues as copyback commands; here
+        # cross-plane moves fall back to read+program but are the same
+        # GC traffic), the ERASE row counts ``flash.commands{op=erase}``.
         rows.append(Fig3Row(name, "COPYBACK",
                             faster_report.relocations,
                             noftl_report.relocations))

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..core import NoFTLConfig
 from ..workloads import TPCB, TPCC, TPCE, TPCH, run_workload

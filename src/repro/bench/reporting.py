@@ -2,15 +2,20 @@
 
 ``emit`` writes through ``sys.__stdout__`` so tables appear in the
 terminal even under pytest's output capture — the benchmark suite is as
-much a report generator as a test suite.
+much a report generator as a test suite.  Set ``REPRO_QUIET=1`` to
+silence the tables (CI log hygiene); :func:`export_metrics` still writes
+the machine-readable telemetry snapshots regardless.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["emit", "render_table", "render_series", "ratio"]
+__all__ = ["emit", "render_table", "render_series", "ratio",
+           "export_metrics"]
 
 
 #: When set (by the benchmark suite's conftest), emit() routes through
@@ -19,13 +24,44 @@ __all__ = ["emit", "render_table", "render_series", "ratio"]
 _EMIT_OVERRIDE = None
 
 
+def _quiet() -> bool:
+    return os.environ.get("REPRO_QUIET", "").strip() not in ("", "0")
+
+
 def emit(text: str) -> None:
-    """Print to the real stdout, bypassing pytest capture."""
+    """Print to the real stdout, bypassing pytest capture.
+
+    A no-op when the ``REPRO_QUIET`` environment variable is set to
+    anything but ``0`` or empty.
+    """
+    if _quiet():
+        return
     if _EMIT_OVERRIDE is not None:
         _EMIT_OVERRIDE(text)
         return
     sys.__stdout__.write(text + "\n")
     sys.__stdout__.flush()
+
+
+def export_metrics(name: str, registry, extra: Optional[dict] = None) -> str:
+    """Write one telemetry snapshot as JSON for CI artifact upload.
+
+    ``registry`` is a :class:`~repro.telemetry.MetricsRegistry` (or any
+    object with a ``snapshot()``, or a plain dict).  The file lands in
+    the directory named by ``REPRO_METRICS_DIR`` (default
+    ``bench-metrics``) as ``<name>.json``; the path is returned.
+    """
+    out_dir = os.environ.get("REPRO_METRICS_DIR", "bench-metrics")
+    os.makedirs(out_dir, exist_ok=True)
+    payload = registry.snapshot() if hasattr(registry, "snapshot") \
+        else dict(registry)
+    if extra:
+        payload = {"extra": extra, **payload}
+    path = os.path.join(out_dir, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    return path
 
 
 def _format_cell(value) -> str:

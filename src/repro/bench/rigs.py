@@ -9,7 +9,7 @@ identical.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..core import NoFTLConfig, NoFTLStorage, NoFTLStorageManager, SyncNoFTLStorage
@@ -27,6 +27,7 @@ from ..flash import (
 )
 from ..ftl import DFTL, FASTer, PageMapFTL
 from ..sim import Simulator
+from ..telemetry import MetricsRegistry
 
 __all__ = [
     "geometry_with_dies",
@@ -146,6 +147,7 @@ class NoFTLRig:
     storage: NoFTLStorage
     adapter: NoFTLStorageAdapter
     db: Optional[Database] = None
+    telemetry: Optional[MetricsRegistry] = None
 
 
 @dataclass
@@ -157,6 +159,7 @@ class BlockDeviceRig:
     device: BlockDevice
     adapter: BlockDeviceAdapter
     db: Optional[Database] = None
+    telemetry: Optional[MetricsRegistry] = None
 
 
 def build_noftl_rig(
@@ -164,20 +167,24 @@ def build_noftl_rig(
     timing: TimingSpec = MLC_TIMING,
     config: Optional[NoFTLConfig] = None,
     seed: int = 0,
+    telemetry: Optional[MetricsRegistry] = None,
 ) -> NoFTLRig:
     """Figure 1.c: DBMS on native flash through NoFTL."""
     sim = Simulator()
-    array = FlashArray(geometry, timing, rng=random.Random(seed))
+    telemetry = telemetry or MetricsRegistry()
+    array = FlashArray(geometry, timing, rng=random.Random(seed),
+                       telemetry=telemetry)
     executor = SimExecutor(SimFlashDevice(sim, array))
     manager = NoFTLStorageManager(
         geometry,
         config or NoFTLConfig(op_ratio=0.12),
         factory_bad_blocks=array.factory_bad_blocks(),
         rng=random.Random(seed + 1),
+        telemetry=telemetry,
     )
     storage = NoFTLStorage(sim, manager, executor)
     return NoFTLRig(sim, geometry, array, manager, storage,
-                    NoFTLStorageAdapter(storage))
+                    NoFTLStorageAdapter(storage), telemetry=telemetry)
 
 
 def build_blockdev_rig(
@@ -186,17 +193,21 @@ def build_blockdev_rig(
     timing: TimingSpec = MLC_TIMING,
     ncq_depth: int = 32,
     seed: int = 0,
+    telemetry: Optional[MetricsRegistry] = None,
     **ftl_kwargs,
 ) -> BlockDeviceRig:
     """Figure 1.a/b: DBMS on a black-box SSD with an on-device FTL."""
     sim = Simulator()
-    array = FlashArray(geometry, timing, rng=random.Random(seed))
+    telemetry = telemetry or MetricsRegistry()
+    array = FlashArray(geometry, timing, rng=random.Random(seed),
+                       telemetry=telemetry)
     executor = SimExecutor(SimFlashDevice(sim, array))
     ftl = make_ftl(ftl_name, geometry, rng=random.Random(seed + 1),
-                   bad_blocks=array.factory_bad_blocks(), **ftl_kwargs)
+                   bad_blocks=array.factory_bad_blocks(),
+                   telemetry=telemetry, **ftl_kwargs)
     device = BlockDevice(sim, ftl, executor, ncq_depth=ncq_depth)
     return BlockDeviceRig(sim, geometry, array, ftl, device,
-                          BlockDeviceAdapter(device))
+                          BlockDeviceAdapter(device), telemetry=telemetry)
 
 
 def build_sync_noftl(
@@ -205,15 +216,18 @@ def build_sync_noftl(
     config: Optional[NoFTLConfig] = None,
     seed: int = 0,
     store_data: bool = False,
+    telemetry: Optional[MetricsRegistry] = None,
 ):
     """Synchronous NoFTL target for trace replay (Figure 3)."""
+    telemetry = telemetry or MetricsRegistry()
     array = FlashArray(geometry, timing, store_data=store_data,
-                       rng=random.Random(seed))
+                       rng=random.Random(seed), telemetry=telemetry)
     executor = SyncExecutor(SyncFlashDevice(array))
     manager = NoFTLStorageManager(
         geometry, config or NoFTLConfig(op_ratio=0.12),
         factory_bad_blocks=array.factory_bad_blocks(),
         rng=random.Random(seed + 1),
+        telemetry=telemetry,
     )
     return SyncNoFTLStorage(manager, executor), array
 
@@ -224,14 +238,17 @@ def build_sync_blockdev(
     timing: TimingSpec = MLC_TIMING,
     seed: int = 0,
     store_data: bool = False,
+    telemetry: Optional[MetricsRegistry] = None,
     **ftl_kwargs,
 ):
     """Synchronous black-box SSD target for trace replay (Figure 3)."""
+    telemetry = telemetry or MetricsRegistry()
     array = FlashArray(geometry, timing, store_data=store_data,
-                       rng=random.Random(seed))
+                       rng=random.Random(seed), telemetry=telemetry)
     executor = SyncExecutor(SyncFlashDevice(array))
     ftl = make_ftl(ftl_name, geometry, rng=random.Random(seed + 1),
-                   bad_blocks=array.factory_bad_blocks(), **ftl_kwargs)
+                   bad_blocks=array.factory_bad_blocks(),
+                   telemetry=telemetry, **ftl_kwargs)
     return SyncBlockDevice(ftl, executor), array
 
 

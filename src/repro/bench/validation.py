@@ -17,7 +17,7 @@ itself plus ideal pipelining bounds):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from ..flash import (
     Copyback,
@@ -30,6 +30,7 @@ from ..flash import (
     SimFlashDevice,
 )
 from ..sim import Simulator
+from ..telemetry import MetricsRegistry
 
 __all__ = ["ValidationRow", "ValidationReport", "validate_emulator"]
 
@@ -60,6 +61,9 @@ class ValidationRow:
 @dataclass
 class ValidationReport:
     rows: List[ValidationRow] = field(default_factory=list)
+    #: One registry shared by every scenario's flash array — the combined
+    #: command counts back the CI smoke-bench artifact.
+    telemetry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def max_error(self) -> float:
@@ -77,6 +81,7 @@ def validate_emulator(timing=OPENSSD_JASMINE,
                       pipeline_ops_per_die: int = 16) -> ValidationReport:
     """Run the validation scenarios and report expected vs measured."""
     report = ValidationReport()
+    registry = report.telemetry
     page_bytes = geometry.page_bytes
 
     # 1. Per-command latencies on an idle device.
@@ -94,7 +99,7 @@ def validate_emulator(timing=OPENSSD_JASMINE,
     for name in ("program", "read", "erase"):
         expected, runner = per_command[name]
         sim = Simulator()
-        device = SimFlashDevice(sim, FlashArray(geometry, timing))
+        device = SimFlashDevice(sim, FlashArray(geometry, timing, telemetry=registry))
 
         def proc():
             if name != "program":
@@ -108,7 +113,7 @@ def validate_emulator(timing=OPENSSD_JASMINE,
 
     # copyback needs two blocks of one plane
     sim = Simulator()
-    device = SimFlashDevice(sim, FlashArray(geometry, timing))
+    device = SimFlashDevice(sim, FlashArray(geometry, timing, telemetry=registry))
     blocks = geometry.blocks_of_plane(0, 0)
 
     def copyback_proc():
@@ -126,7 +131,7 @@ def validate_emulator(timing=OPENSSD_JASMINE,
 
     # 2. Serial sequence on one die == exact serial sum.
     sim = Simulator()
-    device = SimFlashDevice(sim, FlashArray(geometry, timing))
+    device = SimFlashDevice(sim, FlashArray(geometry, timing, telemetry=registry))
     count = 8
 
     def serial_proc():
@@ -141,7 +146,7 @@ def validate_emulator(timing=OPENSSD_JASMINE,
 
     # 3. Parallel erase across all dies: channel-free, perfect overlap.
     sim = Simulator()
-    device = SimFlashDevice(sim, FlashArray(geometry, timing))
+    device = SimFlashDevice(sim, FlashArray(geometry, timing, telemetry=registry))
 
     def eraser(die):
         for step in range(pipeline_ops_per_die):

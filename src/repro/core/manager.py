@@ -31,8 +31,9 @@ from typing import Iterable, Optional
 from ..flash.commands import ReadOob
 from ..flash.errors import ReadUnwrittenError
 from ..flash.geometry import Geometry
-from ..ftl.base import UNMAPPED, FTLStats, MappingState
+from ..ftl.base import FTLStats, MappingState
 from ..ftl.pagespace import PageMappedSpace
+from ..telemetry import EventTrace, MetricsRegistry
 from .badblock import BadBlockManager
 from .config import NoFTLConfig
 from .regions import RegionManager
@@ -49,10 +50,18 @@ class NoFTLStorageManager:
         config: Optional[NoFTLConfig] = None,
         factory_bad_blocks: Iterable[int] = (),
         rng: Optional[random.Random] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
         self.geometry = geometry
         self.config = config or NoFTLConfig()
         self.stats = FTLStats()
+        self.telemetry = telemetry or MetricsRegistry()
+        self.trace = (
+            trace if trace is not None else EventTrace(clock=self.telemetry.now)
+        )
+        self.telemetry.register_collector("noftl.stats", self.stats.snapshot)
+        self.telemetry.register_collector("noftl.occupancy", self.occupancy)
         self.logical_pages = int(
             geometry.total_pages * (1.0 - self.config.op_ratio)
         )
@@ -75,6 +84,8 @@ class NoFTLStorageManager:
                 bad_blocks=self.bad_blocks.all_bad,
                 placement_divisor=self.regions.num_regions,
                 rng=self._rng,
+                telemetry=self.telemetry,
+                trace=self.trace,
             )
             space.on_grown_bad = self.bad_blocks.report_grown
             region.space = space

@@ -38,6 +38,20 @@ class NoFTLStorage:
         ]
         self.read_latency = LatencyRecorder("noftl-read")
         self.write_latency = LatencyRecorder("noftl-write")
+        self.telemetry = manager.telemetry
+        self.telemetry.set_clock(lambda: sim.now)
+        self._tm_read_us = self.telemetry.histogram(
+            "noftl.read_us", layer="core"
+        )
+        self._tm_write_us = self.telemetry.histogram(
+            "noftl.write_us", layer="core"
+        )
+        self._tm_lock_waits = self.telemetry.counter(
+            "noftl.region_lock_waits", layer="core"
+        )
+        self.telemetry.register_collector(
+            "noftl.region_lock_contention", self.region_lock_contention
+        )
 
     @property
     def logical_pages(self) -> int:
@@ -50,19 +64,25 @@ class NoFTLStorage:
         start = self.sim.now
         yield self.sim.timeout(self.interface_overhead_us)
         data = yield from self.executor.run(self.manager.read(lpn))
-        self.read_latency.record(self.sim.now - start)
+        elapsed = self.sim.now - start
+        self.read_latency.record(elapsed)
+        self._tm_read_us.observe(elapsed)
         return data
 
     def write(self, lpn: int, data=None, hint: str = "hot"):
         start = self.sim.now
         lock = self.region_locks[self.manager.region_of_lpn(lpn)]
         yield lock.request()
+        if self.sim.now > start:
+            self._tm_lock_waits.inc()
         try:
             yield self.sim.timeout(self.interface_overhead_us)
             yield from self.executor.run(self.manager.write(lpn, data, hint))
         finally:
             lock.release()
-        self.write_latency.record(self.sim.now - start)
+        elapsed = self.sim.now - start
+        self.write_latency.record(elapsed)
+        self._tm_write_us.observe(elapsed)
 
     def trim(self, lpn: int):
         lock = self.region_locks[self.manager.region_of_lpn(lpn)]

@@ -13,7 +13,7 @@ engines of this vintage and irrelevant to the paper's I/O questions.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from typing import List, Optional, Tuple
 
 from .latches import RWLock

@@ -21,6 +21,7 @@ from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, Optional
 
 from ..sim import Event, Simulator
+from ..telemetry import EventTrace, MetricsRegistry
 from .page import decode_page
 from .storage import StorageAdapter
 from .wal import WALog
@@ -57,6 +58,8 @@ class BufferPool:
         foreground_flush: bool = True,
         clean_wait_timeout_us: float = 10_000.0,
         dirty_throttle_fraction: Optional[float] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
         if capacity < 4:
             raise ValueError("buffer pool needs at least 4 frames")
@@ -97,6 +100,21 @@ class BufferPool:
         self.dirty_eviction_stalls = 0
         self.clean_waits = 0
         self.flushes = 0
+        self.telemetry = telemetry or MetricsRegistry()
+        self.trace = (
+            trace if trace is not None else EventTrace(clock=self.telemetry.now)
+        )
+        self._tm_hits = self.telemetry.counter(
+            "db.buffer.lookups", layer="db", event="hit")
+        self._tm_misses = self.telemetry.counter(
+            "db.buffer.lookups", layer="db", event="miss")
+        self._tm_evictions = self.telemetry.counter(
+            "db.buffer.evictions", layer="db")
+        self._tm_stalls = self.telemetry.counter(
+            "db.buffer.dirty_eviction_stalls", layer="db")
+        self._tm_flush_us = self.telemetry.histogram(
+            "db.flush_us", layer="db")
+        self.telemetry.register_collector("db.buffer", self.snapshot)
 
     # -- configuration ------------------------------------------------------------
 
@@ -115,6 +133,7 @@ class BufferPool:
                 frame.pin_count += 1
                 self.frames.move_to_end(page_id)
                 self.hits += 1
+                self._tm_hits.inc()
                 return frame
             loading = self._loading.get(page_id)
             if loading is not None:
@@ -124,6 +143,7 @@ class BufferPool:
             self._loading[page_id] = done
             try:
                 self.misses += 1
+                self._tm_misses.inc()
                 yield from self._make_room()
                 self._reserved += 1
                 try:
@@ -236,6 +256,7 @@ class BufferPool:
             return False
         done = self.sim.event()
         frame.flush_event = done
+        start = self.telemetry.now()
         try:
             # Snapshot *before* yielding: a concurrent mutator cannot leak
             # unlogged bytes into this write-back.
@@ -253,6 +274,7 @@ class BufferPool:
                 # it (the original enqueue has been consumed).
                 self._dirty_listener(frame.page_id, frame)
             self.flushes += 1
+            self._tm_flush_us.observe(self.telemetry.now() - start)
         finally:
             frame.flush_event = None
             done.succeed()
@@ -283,11 +305,13 @@ class BufferPool:
                         pass
                 # Foreground write-back: the stall db-writers should prevent.
                 self.dirty_eviction_stalls += 1
+                self._tm_stalls.inc()
                 yield from self._flush_frame(victim)
                 continue  # re-pick: state may have changed while flushing
             victim.evicting = True
             del self.frames[victim.page_id]
             self.evictions += 1
+            self._tm_evictions.inc()
 
     def _pick_victim(self) -> Optional[Frame]:
         """Oldest unpinned frame (LRU order), dirty or clean."""

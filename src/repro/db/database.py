@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..sim import Simulator
+from ..telemetry import EventTrace, MetricsRegistry
 from .btree import BTreeIndex
 from .buffer import BufferPool
 from .flusher import DbWriterPool
@@ -43,6 +44,8 @@ class Database:
         foreground_flush: bool = True,
         dirty_throttle_fraction=None,
         wal_keep_records: bool = False,
+        telemetry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
         if cpu_us_per_op < 0:
             raise ValueError("cpu_us_per_op must be >= 0")
@@ -50,12 +53,27 @@ class Database:
         self.storage = storage
         self.page_bytes = page_bytes
         self.cpu_us_per_op = cpu_us_per_op
+        # One registry for the whole stack: prefer the storage backend's
+        # (so DBMS counters land next to flash/FTL ones), else make one.
+        self.telemetry = (
+            telemetry
+            or getattr(storage, "telemetry", None)
+            or MetricsRegistry()
+        )
+        self.telemetry.set_clock(lambda: sim.now)
+        self.trace = (
+            trace if trace is not None else EventTrace(clock=self.telemetry.now)
+        )
+        self._tm_commit_us = self.telemetry.histogram(
+            "db.txn_commit_us", layer="db")
         self.wal = WALog(sim, flush_latency_us=wal_flush_latency_us,
                          keep_records=wal_keep_records)
         self.buffer = BufferPool(
             sim, storage, self.wal, buffer_capacity,
             foreground_flush=foreground_flush,
             dirty_throttle_fraction=dirty_throttle_fraction,
+            telemetry=self.telemetry,
+            trace=self.trace,
         )
         self.locks = LockManager(sim, timeout_us=lock_timeout_us)
         self.txn_manager = TransactionManager(sim, self.wal, self.locks)
@@ -94,7 +112,9 @@ class Database:
         if self.writers is not None:
             raise RuntimeError("db-writers already running")
         self.writers = DbWriterPool(self.sim, self.buffer, self.storage,
-                                    num_writers, policy)
+                                    num_writers, policy,
+                                    telemetry=self.telemetry,
+                                    trace=self.trace)
         return self.writers
 
     # -- transactions ------------------------------------------------------------------
@@ -103,7 +123,9 @@ class Database:
         return self.txn_manager.begin()
 
     def commit(self, txn: Transaction):
+        start = self.sim.now
         yield from self.txn_manager.commit(txn)
+        self._tm_commit_us.observe(self.sim.now - start)
 
     def abort(self, txn: Transaction):
         yield from self.txn_manager.abort(txn)

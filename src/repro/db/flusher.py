@@ -25,9 +25,10 @@ rewritten to flash on every change.  Two assignment policies:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..sim import Interrupt, Simulator
+from ..telemetry import EventTrace, MetricsRegistry
 
 __all__ = ["DbWriterPool"]
 
@@ -46,6 +47,8 @@ class DbWriterPool:
         policy: str = "global",
         batch_size: int = 4,
         idle_poll_us: float = 500.0,
+        telemetry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
         if policy not in _POLICIES:
             raise ValueError(f"policy must be one of {_POLICIES}")
@@ -61,6 +64,18 @@ class DbWriterPool:
         self.batch_size = batch_size
         self.idle_poll_us = idle_poll_us
         self.pages_flushed: List[int] = [0] * num_writers
+        self.telemetry = telemetry or getattr(
+            buffer_pool, "telemetry", None) or MetricsRegistry()
+        self.trace = (
+            trace if trace is not None else EventTrace(clock=self.telemetry.now)
+        )
+        # Per-(writer, region) flush counters: the die-affinity picture —
+        # under the region policy each writer's column collapses onto its
+        # own regions; under the global policy every writer hits them all.
+        self._tm_pages: Dict[Tuple[int, int], object] = {}
+        self._tm_round_us = self.telemetry.histogram(
+            "db.flusher.round_us", layer="db", policy=policy)
+        self.telemetry.register_collector("db.flusher", self.snapshot)
         self._stopping = False
         buffer_pool.background_writers_active = True
         self._processes = [
@@ -96,6 +111,16 @@ class DbWriterPool:
                 picked.append(page_id)
         return picked
 
+    def _flushed_counter(self, index: int, region: int):
+        key = (index, region)
+        counter = self._tm_pages.get(key)
+        if counter is None:
+            counter = self.telemetry.counter(
+                "db.flusher.pages", layer="db",
+                writer=index, region=region)
+            self._tm_pages[key] = counter
+        return counter
+
     def _writer_loop(self, index: int):
         while not self._stopping:
             batch = self._candidates(index)
@@ -105,14 +130,21 @@ class DbWriterPool:
                 except Interrupt:
                     return
                 continue
-            for page_id in batch:
-                frame = self.buffer_pool.frames.get(page_id)
-                if (frame is None or not frame.dirty
-                        or frame.flush_event is not None):
-                    continue  # claimed by a peer since the scan: skip
-                flushed = yield from self.buffer_pool.flush_page(page_id)
-                if flushed:
-                    self.pages_flushed[index] += 1
+            with self.trace.span("flusher.round", histogram=self._tm_round_us,
+                                 writer=index, batch=len(batch)) as span:
+                cleaned = 0
+                for page_id in batch:
+                    frame = self.buffer_pool.frames.get(page_id)
+                    if (frame is None or not frame.dirty
+                            or frame.flush_event is not None):
+                        continue  # claimed by a peer since the scan: skip
+                    flushed = yield from self.buffer_pool.flush_page(page_id)
+                    if flushed:
+                        self.pages_flushed[index] += 1
+                        region = self.storage.region_of_page(page_id)
+                        self._flushed_counter(index, region).inc()
+                        cleaned += 1
+                span.note(cleaned=cleaned)
 
     def stop(self) -> None:
         """Terminate all writers.  Idle writers exit immediately; a writer

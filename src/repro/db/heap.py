@@ -10,7 +10,7 @@ information asymmetry Figure 3 measures.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional, Set, Tuple
+from typing import List, NamedTuple, Tuple
 
 from .locks import LockMode
 from .page import SlottedPage

@@ -20,7 +20,7 @@ Format (little-endian):
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 __all__ = [
     "PAGE_MAGIC",

@@ -23,7 +23,7 @@ crash story of a NoFTL database.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Iterable, Set
 
 from .page import SlottedPage
 from .wal import WALRecord

@@ -19,7 +19,7 @@ All I/O entry points are DES generators.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..core.storage import NoFTLStorage
 from ..device.blockdev import BlockDevice
@@ -38,6 +38,10 @@ class StorageAdapter:
 
     logical_pages: int
     num_regions: int = 1
+    #: The backend's :class:`~repro.telemetry.MetricsRegistry`, when it
+    #: has one — lets the DBMS layer share a single registry with the
+    #: flash stack below it instead of keeping disjoint counters.
+    telemetry = None
 
     def read(self, page_id: int):  # pragma: no cover - interface
         raise NotImplementedError
@@ -59,6 +63,7 @@ class NoFTLStorageAdapter(StorageAdapter):
         self.storage = storage
         self.logical_pages = storage.logical_pages
         self.num_regions = storage.manager.num_regions
+        self.telemetry = storage.telemetry
 
     def read(self, page_id: int):
         data = yield from self.storage.read(page_id)
@@ -81,6 +86,7 @@ class BlockDeviceAdapter(StorageAdapter):
         self.device = device
         self.logical_pages = device.logical_pages
         self.num_regions = 1
+        self.telemetry = getattr(device.ftl, "telemetry", None)
 
     def read(self, page_id: int):
         data = yield from self.device.read(page_id)

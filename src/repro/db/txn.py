@@ -9,7 +9,7 @@ the before-image through the buffer pool.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from ..sim import Simulator
 from .locks import LockManager, LockMode, TxnAborted

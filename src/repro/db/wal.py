@@ -13,7 +13,7 @@ is durability bookkeeping plus the flush cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from ..sim import Event, Simulator

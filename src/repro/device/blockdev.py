@@ -23,7 +23,6 @@ latency-predictability experiment (E6).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..flash.executor import SimExecutor, SyncExecutor
 from ..ftl.base import BaseFTL

@@ -46,6 +46,7 @@ from .errors import (
 )
 from .geometry import Geometry
 from .timing import MLC_TIMING, TimingSpec
+from ..telemetry import FLASH_OPS, MetricsRegistry
 
 __all__ = ["FlashArray", "ArrayCounters"]
 
@@ -90,6 +91,12 @@ class FlashArray:
     read_error_rate
         Probability that any single page read raises
         :class:`UncorrectableError` (failure-injection hook; default off).
+    telemetry
+        Shared :class:`~repro.telemetry.MetricsRegistry`; a private one is
+        created when omitted.  The array owns the per-die command counters
+        (``flash.commands{op, die}``) and busy-time sums
+        (``flash.busy_us{die}``) — the authoritative source of the
+        Figure 3 quantities.
     """
 
     def __init__(
@@ -101,6 +108,7 @@ class FlashArray:
         initial_bad_block_rate: float = 0.0,
         read_error_rate: float = 0.0,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ):
         if not 0.0 <= initial_bad_block_rate < 1.0:
             raise ValueError("initial_bad_block_rate must be in [0, 1)")
@@ -121,6 +129,22 @@ class FlashArray:
         self._data: Dict[int, Any] = {}
         self._oob: Dict[int, Any] = {}
         self.counters = ArrayCounters(per_die_ops=[0] * geometry.total_dies)
+
+        # Telemetry: counters resolved once here, bumped as plain attribute
+        # increments on the command hot paths.
+        self.telemetry = telemetry or MetricsRegistry()
+        dies = geometry.total_dies
+        self._tm_ops = {
+            op: [
+                self.telemetry.counter("flash.commands", layer="flash", op=op, die=die)
+                for die in range(dies)
+            ]
+            for op in FLASH_OPS
+        }
+        self._tm_busy = [
+            self.telemetry.counter("flash.busy_us", layer="flash", die=die)
+            for die in range(dies)
+        ]
 
         if initial_bad_block_rate > 0:
             for pbn in range(nblocks):
@@ -209,13 +233,15 @@ class FlashArray:
         if self.read_error_rate and self._rng.random() < self.read_error_rate:
             raise UncorrectableError(f"uncorrectable read at ppn={ppn}")
         self.counters.reads += 1
-        self._bump_die(ppn)
+        die = self._bump_die(ppn)
         latency = self.timing.read_latency_us(self.geometry.page_bytes)
         self.counters.busy_us += latency
+        self._tm_ops["read"][die].inc()
+        self._tm_busy[die].inc(latency)
         return CommandResult(
             command,
             latency_us=latency,
-            die=self.geometry.die_of_ppn(ppn),
+            die=die,
             data=self._data.get(ppn),
             oob=self._oob.get(ppn),
         )
@@ -231,11 +257,12 @@ class FlashArray:
             self._data[ppn] = command.data
         self._oob[ppn] = command.oob
         self.counters.programs += 1
-        self._bump_die(ppn)
+        die = self._bump_die(ppn)
         latency = self.timing.program_latency_us(self.geometry.page_bytes)
         self.counters.busy_us += latency
-        return CommandResult(command, latency_us=latency,
-                             die=self.geometry.die_of_ppn(ppn))
+        self._tm_ops["program"][die].inc()
+        self._tm_busy[die].inc(latency)
+        return CommandResult(command, latency_us=latency, die=die)
 
     def _erase(self, command: EraseBlock) -> CommandResult:
         pbn = command.pbn
@@ -249,6 +276,8 @@ class FlashArray:
         self.counters.per_die_ops[die] += 1
         latency = self.timing.erase_latency_us()
         self.counters.busy_us += latency
+        self._tm_ops["erase"][die].inc()
+        self._tm_busy[die].inc(latency)
         if (
             self.max_erase_cycles is not None
             and self.erase_counts[pbn] > self.max_erase_cycles
@@ -275,23 +304,25 @@ class FlashArray:
             self._data[dst] = self._data.get(src)
         self._oob[dst] = command.oob if command.oob is not None else self._oob.get(src)
         self.counters.copybacks += 1
-        self._bump_die(src)
+        die = self._bump_die(src)
         latency = self.timing.copyback_latency_us()
         self.counters.busy_us += latency
-        return CommandResult(command, latency_us=latency,
-                             die=self.geometry.die_of_ppn(src))
+        self._tm_ops["copyback"][die].inc()
+        self._tm_busy[die].inc(latency)
+        return CommandResult(command, latency_us=latency, die=die)
 
     def _read_oob(self, command: ReadOob) -> CommandResult:
         ppn = command.ppn
         if not self.is_programmed(ppn):
             raise ReadUnwrittenError(f"OOB read of unwritten page ppn={ppn}")
         self.counters.oob_reads += 1
-        self._bump_die(ppn)
+        die = self._bump_die(ppn)
         latency = self.timing.cmd_overhead_us + self.timing.read_us + \
             self.timing.transfer_us(self.geometry.oob_bytes)
         self.counters.busy_us += latency
-        return CommandResult(command, latency_us=latency,
-                             die=self.geometry.die_of_ppn(ppn),
+        self._tm_ops["oob_read"][die].inc()
+        self._tm_busy[die].inc(latency)
+        return CommandResult(command, latency_us=latency, die=die,
                              oob=self._oob.get(ppn))
 
     # -- helpers --------------------------------------------------------------------
@@ -322,5 +353,7 @@ class FlashArray:
             self._programmed.discard(ppn)
         self._next_page[pbn] = 0
 
-    def _bump_die(self, ppn: int) -> None:
-        self.counters.per_die_ops[self.geometry.die_of_ppn(ppn)] += 1
+    def _bump_die(self, ppn: int) -> int:
+        die = self.geometry.die_of_ppn(ppn)
+        self.counters.per_die_ops[die] += 1
+        return die

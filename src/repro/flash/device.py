@@ -16,7 +16,7 @@ Two ways of driving one :class:`~repro.flash.array.FlashArray`:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 from ..sim import LatencyRecorder, Resource, Simulator
 from .array import FlashArray
@@ -47,6 +47,7 @@ class SyncFlashDevice:
     def __init__(self, array: FlashArray):
         self.array = array
         self.geometry = array.geometry
+        self.telemetry = array.telemetry
         self.die_busy_us: List[float] = [0.0] * array.geometry.total_dies
         self.serial_us = 0.0
 
@@ -94,6 +95,17 @@ class SimFlashDevice:
         ]
         self.latency = LatencyRecorder("flash-commands")
         self._die_busy_us: List[float] = [0.0] * self.geometry.total_dies
+        # Telemetry shares the array's registry; simulated time becomes the
+        # clock for every span/histogram downstream of this device.
+        self.telemetry = array.telemetry
+        self.telemetry.set_clock(lambda: sim.now)
+        self._tm_queue_wait = [
+            self.telemetry.histogram("flash.queue_wait_us", layer="flash", die=die)
+            for die in range(self.geometry.total_dies)
+        ]
+        self._tm_service = self.telemetry.histogram(
+            "flash.service_us", layer="flash"
+        )
 
     @property
     def counters(self):
@@ -118,6 +130,7 @@ class SimFlashDevice:
         die_resource = self.die_resources[die]
         yield die_resource.request()
         acquired = self.sim.now
+        self._tm_queue_wait[die].observe(acquired - start)
         try:
             # State transition happens when the die starts the command;
             # per-die FIFO queuing makes this consistent with issue order.
@@ -150,5 +163,6 @@ class SimFlashDevice:
             self._die_busy_us[die] += self.sim.now - acquired
         total = self.sim.now - start
         self.latency.record(total)
+        self._tm_service.observe(total)
         result.extra["observed_us"] = total
         return result

@@ -8,7 +8,6 @@ parts) express flash access as command-yielding generators — see
 
 from __future__ import annotations
 
-import random
 from array import array as _array
 from collections import deque
 from dataclasses import dataclass, field
@@ -16,6 +15,7 @@ from typing import Deque, Dict, Iterable, List, Optional
 
 from ..flash.commands import Copyback, ProgramPage, ReadPage
 from ..flash.geometry import Geometry
+from ..telemetry import EventTrace, MetricsRegistry
 
 __all__ = [
     "FTLStats",
@@ -93,13 +93,24 @@ class BaseFTL:
     minus over-provisioning.
     """
 
-    def __init__(self, geometry: Geometry, op_ratio: float = 0.1):
+    def __init__(self, geometry: Geometry, op_ratio: float = 0.1,
+                 telemetry: Optional[MetricsRegistry] = None,
+                 trace: Optional[EventTrace] = None):
         if not 0.0 < op_ratio < 0.9:
             raise ValueError(f"op_ratio must be in (0, 0.9), got {op_ratio}")
         self.geometry = geometry
         self.op_ratio = op_ratio
         self.logical_pages = int(geometry.total_pages * (1.0 - op_ratio))
         self.stats = FTLStats()
+        # Telemetry: shared registry/trace when the rig provides them,
+        # private ones otherwise, so instrumentation is always live.  The
+        # collector exposes the classic FTLStats counters in snapshots.
+        self.telemetry = telemetry or MetricsRegistry()
+        self.trace = trace if trace is not None \
+            else EventTrace(clock=self.telemetry.now)
+        self.telemetry.register_collector(
+            f"ftl.{type(self).__name__}", self.stats.snapshot
+        )
 
     @property
     def name(self) -> str:
@@ -232,13 +243,16 @@ class BlockPool:
 
 
 def relocate_page(geometry: Geometry, src_ppn: int, dst_ppn: int,
-                  stats: FTLStats, oob=None):
+                  stats: FTLStats, oob=None, counter=None):
     """Move one valid page, preferring COPYBACK when planes match.
 
     A flash-command generator; returns nothing.  Updates the relocation
-    counters that Figure 3 reports.
+    counters that Figure 3 reports; ``counter`` is the caller's
+    ``ftl.relocations`` telemetry counter, bumped alongside.
     """
     stats.gc_relocations += 1
+    if counter is not None:
+        counter.inc()
     if geometry.same_plane(src_ppn, dst_ppn):
         stats.gc_copybacks += 1
         yield Copyback(src_ppn=src_ppn, dst_ppn=dst_ppn, oob=oob)

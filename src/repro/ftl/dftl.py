@@ -34,6 +34,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..flash.commands import ReadPage
 from ..flash.geometry import Geometry
+from ..telemetry import MetricsRegistry
 from .base import UNMAPPED, BaseFTL, MappingState
 from .pagespace import PageMappedSpace
 
@@ -64,8 +65,9 @@ class DFTL(BaseFTL):
         gc_low_water: int = 2,
         bad_blocks: Iterable[int] = (),
         rng: Optional[random.Random] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ):
-        super().__init__(geometry, op_ratio)
+        super().__init__(geometry, op_ratio, telemetry=telemetry)
         if cmt_entries < 1:
             raise ValueError("cmt_entries must be >= 1")
         self.cmt_entries = cmt_entries
@@ -91,12 +93,18 @@ class DFTL(BaseFTL):
             separate_streams=True,
             bad_blocks=bad_blocks,
             rng=rng,
+            telemetry=self.telemetry,
+            trace=self.trace,
         )
         self.space.rebind_hook = self._gc_rebind
         # CMT: lpn -> dirty flag, in LRU order (oldest first).
         self._cmt: "OrderedDict[int, bool]" = OrderedDict()
         self.cmt_hits = 0
         self.cmt_misses = 0
+        self._tm_cmt_hits = self.telemetry.counter(
+            "ftl.map_cache", layer="ftl", ftl="DFTL", event="hit")
+        self._tm_cmt_misses = self.telemetry.counter(
+            "ftl.map_cache", layer="ftl", ftl="DFTL", event="miss")
         # Translation pages whose on-flash copy is stale because GC moved
         # data pages; drained by the outermost rebind so the
         # GC -> TP-write -> GC cascade stays iterative, never recursive.
@@ -155,9 +163,11 @@ class DFTL(BaseFTL):
         """Generator: make ``lpn``'s mapping resident in the CMT."""
         if lpn in self._cmt:
             self.cmt_hits += 1
+            self._tm_cmt_hits.inc()
             self._cmt.move_to_end(lpn)
             return
         self.cmt_misses += 1
+        self._tm_cmt_misses.inc()
         while len(self._cmt) >= self.cmt_entries:
             victim_lpn, dirty = self._cmt.popitem(last=False)
             if dirty:

@@ -33,6 +33,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Set
 from ..flash.commands import EraseBlock, Pause, ProgramPage, ReadPage
 from ..flash.errors import BlockWornOut
 from ..flash.geometry import Geometry
+from ..telemetry import MetricsRegistry
 from .base import BaseFTL, relocate_page
 
 __all__ = ["FASTer"]
@@ -65,8 +66,9 @@ class FASTer(BaseFTL):
         log_stripes: int = 4,
         bad_blocks: Iterable[int] = (),
         rng: Optional[random.Random] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ):
-        super().__init__(geometry, op_ratio)
+        super().__init__(geometry, op_ratio, telemetry=telemetry)
         if not 0.0 < log_fraction < 0.5:
             raise ValueError("log_fraction must be in (0, 0.5)")
         if not 0.0 <= migration_cap_fraction <= 1.0:
@@ -116,6 +118,22 @@ class FASTer(BaseFTL):
         # Logical blocks currently being merged: concurrent host writes to
         # them are diverted to the log so the merge cannot lose them.
         self._merging: Set[int] = set()
+
+        # Telemetry: merge-type counters plus spans over log reclaims and
+        # full merges — the operations behind FASTer's Figure 3 overhead.
+        self._tm_merges = {
+            kind: self.telemetry.counter(
+                "ftl.merges", layer="ftl", ftl="FASTer", kind=kind)
+            for kind in ("full", "switch", "partial")
+        }
+        self._tm_second_chances = self.telemetry.counter(
+            "ftl.second_chances", layer="ftl", ftl="FASTer")
+        self._tm_reclaim_us = self.telemetry.histogram(
+            "ftl.log.reclaim_us", layer="ftl", ftl="FASTer")
+        self._tm_merge_us = self.telemetry.histogram(
+            "ftl.merge.full_us", layer="ftl", ftl="FASTer")
+        self._tm_relocations = self.telemetry.counter(
+            "ftl.relocations", layer="ftl")
 
     # -- host interface ---------------------------------------------------------
 
@@ -219,6 +237,7 @@ class FASTer(BaseFTL):
         old_pbn = self.block_map.get(lbn)
         if partial and old_pbn is not None:
             self.stats.merges_partial += 1
+            self._tm_merges["partial"].inc()
             # Fill the tail of the SW block from the newest versions.
             old_written = self._data_written[lbn]
             consumed = []
@@ -232,13 +251,15 @@ class FASTer(BaseFTL):
                     continue
                 dst = self.geometry.ppn_of(pbn, offset)
                 yield from relocate_page(self.geometry, src, dst, self.stats,
-                                         oob={"lpn": lpn})
+                                         oob={"lpn": lpn},
+                                         counter=self._tm_relocations)
                 if from_log:
                     consumed.append((lpn, src))
                 written.add(offset)
         else:
             consumed = []
             self.stats.merges_switch += 1
+            self._tm_merges["switch"].inc()
         # New block first, then retire log entries (see _full_merge_locked).
         self.block_map[lbn] = pbn
         self._data_fill[lbn] = (max(written) + 1) if written else 0
@@ -316,6 +337,11 @@ class FASTer(BaseFTL):
 
     def _reclaim_oldest_log_block(self):
         victim = self._log_order.popleft()
+        with self.trace.span("log.reclaim", histogram=self._tm_reclaim_us,
+                             victim=victim):
+            yield from self._reclaim_log_block(victim)
+
+    def _reclaim_log_block(self, victim: int):
         entries = self._log_block_entries.pop(victim, [])
         valid = [
             (offset, lpn)
@@ -347,10 +373,12 @@ class FASTer(BaseFTL):
             if self._log_map.get(lpn) != src:
                 continue  # consumed by a merge above
             self.stats.second_chances += 1
+            self._tm_second_chances.inc()
             # Read the payload first (a yield), then allocate + bind +
             # program atomically so concurrent appenders keep the log
             # block's program order ascending.
             self.stats.gc_relocations += 1
+            self._tm_relocations.inc()
             self.stats.gc_reads += 1
             result = yield ReadPage(ppn=src)
             if self._log_map.get(lpn) != src:
@@ -385,11 +413,14 @@ class FASTer(BaseFTL):
         """Gather the newest version of every page of ``lbn`` into a fresh
         block — the expensive operation FASTer tries to avoid."""
         self.stats.merges_full += 1
+        self._tm_merges["full"].inc()
         if lbn in self._merging:
             return  # a concurrent reclaim is already merging this block
         self._merging.add(lbn)
         try:
-            yield from self._full_merge_locked(lbn)
+            with self.trace.span("merge.full", histogram=self._tm_merge_us,
+                                 lbn=lbn):
+                yield from self._full_merge_locked(lbn)
         finally:
             self._merging.discard(lbn)
 
@@ -414,7 +445,8 @@ class FASTer(BaseFTL):
                 continue
             dst = self.geometry.ppn_of(new_pbn, offset)
             yield from relocate_page(self.geometry, src, dst, self.stats,
-                                     oob={"lpn": lpn})
+                                     oob={"lpn": lpn},
+                                     counter=self._tm_relocations)
             if from_log:
                 consumed.append((lpn, src))
             written.add(offset)

@@ -32,6 +32,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..flash.commands import ReadPage
 from ..flash.geometry import Geometry
+from ..telemetry import MetricsRegistry
 from .base import UNMAPPED, BaseFTL, MappingState
 from .pagespace import PageMappedSpace
 
@@ -63,8 +64,9 @@ class LazyFTL(BaseFTL):
         gc_low_water: int = 2,
         bad_blocks: Iterable[int] = (),
         rng: Optional[random.Random] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ):
-        super().__init__(geometry, op_ratio)
+        super().__init__(geometry, op_ratio, telemetry=telemetry)
         if umt_entries < 1 or read_cache_entries < 1:
             raise ValueError("cache budgets must be >= 1")
         self.umt_entries = umt_entries
@@ -91,6 +93,8 @@ class LazyFTL(BaseFTL):
             separate_streams=True,
             bad_blocks=bad_blocks,
             rng=rng,
+            telemetry=self.telemetry,
+            trace=self.trace,
         )
         self.space.rebind_hook = self._gc_rebind
 
@@ -103,6 +107,10 @@ class LazyFTL(BaseFTL):
         self.umt_flushes = 0
         self.read_cache_hits = 0
         self.read_cache_misses = 0
+        self._tm_rc_hits = self.telemetry.counter(
+            "ftl.map_cache", layer="ftl", ftl="LazyFTL", event="hit")
+        self._tm_rc_misses = self.telemetry.counter(
+            "ftl.map_cache", layer="ftl", ftl="LazyFTL", event="miss")
 
     # -- address helpers -------------------------------------------------------
 
@@ -122,10 +130,12 @@ class LazyFTL(BaseFTL):
         self.stats.host_reads += 1
         if lpn in self._umt or lpn in self._read_cache:
             self.read_cache_hits += 1
+            self._tm_rc_hits.inc()
             if lpn in self._read_cache:
                 self._read_cache.move_to_end(lpn)
         else:
             self.read_cache_misses += 1
+            self._tm_rc_misses.inc()
             tvpn = self._tvpn_of(lpn)
             if self._tp_exists(tvpn):
                 self.stats.map_reads += 1

@@ -18,6 +18,7 @@ import random
 from typing import Iterable, Optional
 
 from ..flash.geometry import Geometry
+from ..telemetry import MetricsRegistry
 from .base import BaseFTL, MappingState
 from .pagespace import PageMappedSpace
 
@@ -37,8 +38,9 @@ class PageMapFTL(BaseFTL):
         wear_level_delta: Optional[int] = None,
         bad_blocks: Iterable[int] = (),
         rng: Optional[random.Random] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ):
-        super().__init__(geometry, op_ratio)
+        super().__init__(geometry, op_ratio, telemetry=telemetry)
         self.mapping = MappingState(geometry, self.logical_pages)
         planes = [
             (die, plane)
@@ -56,6 +58,8 @@ class PageMapFTL(BaseFTL):
             wear_level_delta=wear_level_delta,
             bad_blocks=bad_blocks,
             rng=rng,
+            telemetry=self.telemetry,
+            trace=self.trace,
         )
 
     def read(self, lpn: int):

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..flash.commands import EraseBlock, Pause, ProgramPage, ReadPage
 from ..flash.errors import BlockWornOut
 from ..flash.geometry import Geometry
+from ..telemetry import EventTrace, MetricsRegistry
 from .base import UNMAPPED, BlockPool, FTLStats, MappingState, relocate_page
 
 __all__ = ["PageMappedSpace", "PlaneId"]
@@ -90,6 +91,8 @@ class PageMappedSpace:
         bad_blocks: Iterable[int] = (),
         placement_divisor: int = 1,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
         if gc_policy not in ("greedy", "cost_benefit"):
             raise ValueError(f"unknown gc_policy: {gc_policy!r}")
@@ -127,6 +130,22 @@ class PageMappedSpace:
         # erase-count shadow (the host cannot see array internals; NoFTL
         # tracks wear itself, which is exactly what the paper proposes)
         self.erase_counts: Dict[int, int] = {}
+
+        # Telemetry: GC victim quality, collection/wear-level spans, and
+        # back-off waits behind an in-flight collection.
+        self.telemetry = telemetry or MetricsRegistry()
+        self.trace = trace if trace is not None \
+            else EventTrace(clock=self.telemetry.now)
+        self._tm_gc_runs = self.telemetry.counter("ftl.gc.collections", layer="ftl")
+        self._tm_gc_waits = self.telemetry.counter("ftl.gc.backoff_waits", layer="ftl")
+        self._tm_victim_valid = self.telemetry.histogram(
+            "ftl.gc.victim_valid", layer="ftl"
+        )
+        self._tm_gc_us = self.telemetry.histogram("ftl.gc.collect_us", layer="ftl")
+        self._tm_wl_us = self.telemetry.histogram("ftl.wl.migrate_us", layer="ftl")
+        self._tm_relocations = self.telemetry.counter(
+            "ftl.relocations", layer="ftl"
+        )
 
     # -- placement -----------------------------------------------------------------
 
@@ -205,6 +224,7 @@ class PageMappedSpace:
         attempts = 0
         while len(plane.pool) < self.gc_low_water:
             if plane.collecting:
+                self._tm_gc_waits.inc()
                 yield Pause(duration_us=100.0)
                 attempts += 1
                 if attempts > 64 * plane.pool.initial_size:
@@ -256,6 +276,18 @@ class PageMappedSpace:
         """Generator: relocate the victim's valid pages, erase it."""
         plane.collecting.add(victim)
         moved = []
+        valid_count = self.mapping.valid_in_block[victim]
+        self._tm_gc_runs.inc()
+        self._tm_victim_valid.observe(valid_count)
+        with self.trace.span("gc.collect", histogram=self._tm_gc_us,
+                             plane=plane.plane_id, victim=victim,
+                             valid=valid_count) as span:
+            yield from self._collect_body(plane, victim, moved)
+            span.note(moved=len(moved))
+        if self.rebind_hook is not None and moved:
+            yield from self.rebind_hook(moved)
+
+    def _collect_body(self, plane: _Plane, victim: int, moved: list):
         try:
             for offset, lpn in self.mapping.valid_lpns_of_block(victim):
                 src = self.geometry.ppn_of(victim, offset)
@@ -269,10 +301,12 @@ class PageMappedSpace:
                 # the recovery sequence number of the original write.
                 if self.use_copyback:
                     yield from relocate_page(
-                        self.geometry, src, dst, self.stats
+                        self.geometry, src, dst, self.stats,
+                        counter=self._tm_relocations,
                     )
                 else:
                     self.stats.gc_relocations += 1
+                    self._tm_relocations.inc()
                     self.stats.gc_reads += 1
                     self.stats.gc_programs += 1
                     result = yield ReadPage(ppn=src)
@@ -286,8 +320,6 @@ class PageMappedSpace:
             yield from self._erase_into_pool(plane, victim)
         finally:
             plane.collecting.discard(victim)
-        if self.rebind_hook is not None and moved:
-            yield from self.rebind_hook(moved)
 
     def _erase_into_pool(self, plane: _Plane, pbn: int):
         plane.occupied.discard(pbn)
@@ -323,7 +355,10 @@ class PageMappedSpace:
         coldest = min(plane.occupied,
                       key=lambda pbn: self.erase_counts.get(pbn, 0))
         self.stats.wl_moves += 1
-        yield from self._collect(plane, coldest)
+        with self.trace.span("wl.migrate", histogram=self._tm_wl_us,
+                             plane=plane.plane_id, block=coldest,
+                             spread=spread):
+            yield from self._collect(plane, coldest)
 
     def rebuild_allocation(self, programmed_blocks) -> None:
         """Crash recovery: reset allocation state from a scan result.

@@ -14,7 +14,7 @@ reproducible timing (see DESIGN.md section 2).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
     "Event",

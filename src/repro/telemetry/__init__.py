@@ -1,0 +1,34 @@
+"""Cross-layer telemetry: metrics registry + structured event tracing.
+
+The observability substrate for the whole NoFTL stack.  One
+:class:`MetricsRegistry` is threaded through a rig (flash array, FTL or
+NoFTL storage manager, buffer pool, db-writers); one :class:`EventTrace`
+carries spans for GC runs, wear-leveling migrations, flusher rounds and
+transactions.  Every bench exports ``registry.snapshot()`` as JSON — the
+machine-readable counterpart of the printed tables, and the source of the
+Figure 3/4 quantities (see DESIGN.md, "Telemetry metric names").
+"""
+
+from .registry import (
+    FLASH_OPS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    flash_totals,
+    sum_per_die,
+)
+from .trace import EventTrace, Span, TraceEvent
+
+__all__ = [
+    "FLASH_OPS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "flash_totals",
+    "sum_per_die",
+    "EventTrace",
+    "Span",
+    "TraceEvent",
+]

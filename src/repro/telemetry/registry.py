@@ -1,0 +1,246 @@
+"""Label-aware metrics registry shared by every layer of the stack.
+
+One :class:`MetricsRegistry` instance is threaded through a whole rig —
+flash array, FTL / NoFTL storage manager, buffer pool, db-writers — so a
+single ``snapshot()`` (or ``to_json()``) captures the complete cross-layer
+state of a run.  The design follows the usual counter/gauge/histogram
+trio, with two project-specific twists:
+
+* **hierarchical labels** — every instrument carries a frozen label set
+  (``layer``, ``die``, ``ftl``, ``op``, ...); :meth:`MetricsRegistry.value`
+  and :meth:`MetricsRegistry.series` aggregate over any label subset, which
+  is how the Figure 3/4 reproductions pull "copybacks per die" or "erases,
+  all dies" out of one family of counters;
+* **simulated-time awareness** — histograms and spans take their clock
+  from the owning :class:`~repro.sim.Simulator` (``set_clock``), so
+  latency numbers are in simulated microseconds, not wall time.
+
+Histograms are built on the existing :mod:`repro.sim.stats` primitives
+(:class:`~repro.sim.stats.LatencyRecorder`), keeping one percentile
+implementation for the whole repo.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..sim.stats import LatencyRecorder
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "LabelSet"]
+
+#: Canonical (sorted) label representation used as part of instrument keys.
+LabelSet = Tuple[Tuple[str, object], ...]
+
+
+def _labelset(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (float-valued for busy-time sums)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, dirty ratio, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Latency/size distribution built on :class:`LatencyRecorder`.
+
+    Keeps raw samples (experiments here are small), so ``pct`` is exact and
+    matches :func:`repro.sim.stats.percentile` by construction.
+    """
+
+    __slots__ = ("name", "labels", "_recorder")
+
+    def __init__(self, name: str, labels: LabelSet):
+        self.name = name
+        self.labels = labels
+        self._recorder = LatencyRecorder(name)
+
+    def observe(self, value: float) -> None:
+        self._recorder.record(value)
+
+    @property
+    def count(self) -> int:
+        return self._recorder.count
+
+    @property
+    def mean(self) -> float:
+        return self._recorder.mean
+
+    @property
+    def samples(self) -> List[float]:
+        return self._recorder.samples
+
+    def pct(self, q: float) -> float:
+        return self._recorder.pct(q)
+
+    def as_dict(self) -> dict:
+        summary = self._recorder.summary()
+        summary.pop("name", None)
+        return {"name": self.name, "labels": dict(self.labels), **summary}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled counters, gauges and histograms.
+
+    Instruments are identified by ``(kind, name, labels)``: asking twice
+    for the same triple returns the same object, so hot paths can resolve
+    their counters once at construction time and bump plain attributes
+    afterwards.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._counters: Dict[Tuple[str, LabelSet], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
+        self._collectors: Dict[str, Callable[[], dict]] = {}
+        self._seq = 0
+        self._clock = clock
+
+    # -- clock ----------------------------------------------------------------
+
+    def set_clock(self, clock: Optional[Callable[[], float]]) -> None:
+        """Attach a simulated-time source (e.g. ``lambda: sim.now``)."""
+        self._clock = clock
+
+    def now(self) -> float:
+        """Simulated time when a clock is attached, else a logical sequence."""
+        if self._clock is not None:
+            return self._clock()
+        self._seq += 1
+        return float(self._seq)
+
+    # -- instruments ----------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _labelset(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _labelset(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = (name, _labelset(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1])
+        return instrument
+
+    # -- aggregation ----------------------------------------------------------
+
+    def _matching(self, table: dict, name: str, labels: Dict[str, object]):
+        want = labels.items()
+        for (candidate, labelset), instrument in table.items():
+            if candidate == name and all(pair in labelset for pair in want):
+                yield instrument
+
+    def value(self, name: str, **labels) -> float:
+        """Sum of every counter named ``name`` whose labels are a superset
+        of the given ones — e.g. ``value("flash.commands", op="erase")``
+        totals erases across all dies."""
+        return sum(c.value for c in self._matching(self._counters, name, labels))
+
+    def series(self, name: str, by: str, **labels) -> Dict[object, float]:
+        """Counter totals grouped by one label — e.g.
+        ``series("flash.commands", "die", op="copyback")`` gives the
+        per-die copyback counts of Figure 3/4."""
+        out: Dict[object, float] = {}
+        for counter in self._matching(self._counters, name, labels):
+            key = dict(counter.labels).get(by)
+            if key is None:
+                continue
+            out[key] = out.get(key, 0) + counter.value
+        return out
+
+    def histograms_named(self, name: str, **labels) -> List[Histogram]:
+        return list(self._matching(self._histograms, name, labels))
+
+    # -- collectors -----------------------------------------------------------
+
+    def register_collector(self, name: str, fn: Callable[[], dict]) -> None:
+        """Attach a lazy snapshot source (e.g. an FTLStats.snapshot bound
+        method); its dict appears under ``collectors.<name>`` in snapshots.
+        Re-registering a name replaces the previous collector."""
+        self._collectors[name] = fn
+
+    # -- export ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One nested, JSON-ready dict of everything the registry knows."""
+        return {
+            "counters": [c.as_dict() for c in self._counters.values()],
+            "gauges": [g.as_dict() for g in self._gauges.values()],
+            "histograms": [h.as_dict() for h in self._histograms.values()],
+            "collectors": {name: fn() for name, fn in self._collectors.items()},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, default=str, sort_keys=True)
+
+    def write_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    def merge_counters_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's counters into this one (used when a
+        bench builds several short-lived devices but wants one artifact)."""
+        for (name, labelset), counter in other._counters.items():
+            self.counter(name, **dict(labelset)).inc(counter.value)
+
+
+#: Flash command types accounted per die by the flash layer.
+FLASH_OPS = ("read", "program", "erase", "copyback", "oob_read")
+
+
+def sum_per_die(registry: MetricsRegistry, op: str) -> Dict[int, float]:
+    """Convenience: per-die totals of one flash command type."""
+    return registry.series("flash.commands", "die", op=op)
+
+
+def flash_totals(registry: MetricsRegistry, ops: Iterable[str] = FLASH_OPS) -> Dict[str, int]:
+    """Convenience: total count of each flash command type."""
+    return {op: int(registry.value("flash.commands", op=op)) for op in ops}

@@ -1,0 +1,163 @@
+"""Structured event tracing: a bounded ring buffer with span support.
+
+Where the registry answers *how many / how long on average*, the trace
+answers *where did this copyback come from*: every GC run, wear-leveling
+migration, flusher round and transaction can emit begin/end events with
+structured fields, timestamped in simulated time.  The buffer is a fixed
+ring (old events fall off; a ``dropped`` counter records how many), so
+tracing is always safe to leave enabled on multi-minute simulated runs.
+
+An optional JSONL sink streams every event to disk as it is emitted —
+useful for post-mortem analysis of a single bench; ``to_jsonl`` dumps the
+retained window after the fact.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Callable, Deque, List, Optional, TextIO
+
+__all__ = ["TraceEvent", "EventTrace", "Span"]
+
+
+class TraceEvent:
+    """One structured event: a timestamp, a kind, and free-form fields."""
+
+    __slots__ = ("ts", "kind", "fields")
+
+    def __init__(self, ts: float, kind: str, fields: dict):
+        self.ts = ts
+        self.kind = kind
+        self.fields = fields
+
+    def as_dict(self) -> dict:
+        return {"ts": self.ts, "kind": self.kind, **self.fields}
+
+    def __repr__(self) -> str:
+        return f"TraceEvent(ts={self.ts}, kind={self.kind!r}, fields={self.fields!r})"
+
+
+class Span:
+    """Context manager measuring one operation (GC run, flusher round,
+    transaction) as a begin/end event pair plus an optional histogram
+    observation of the duration.
+
+    Works inside DES generators: ``with trace.span("gc.collect", ...):``
+    around a ``yield from`` body times the simulated duration, and the
+    ``finally`` semantics of ``with`` close the span even on interrupt.
+    Extra fields discovered mid-span can be attached via :meth:`note`.
+    """
+
+    __slots__ = ("trace", "kind", "fields", "histogram", "start")
+
+    def __init__(self, trace: "EventTrace", kind: str, histogram, fields: dict):
+        self.trace = trace
+        self.kind = kind
+        self.fields = fields
+        self.histogram = histogram
+        self.start = 0.0
+
+    def note(self, **fields) -> None:
+        """Attach extra fields reported on the end event."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        self.start = self.trace.now()
+        self.trace.emit(self.kind + ":begin", **self.fields)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = self.trace.now() - self.start
+        fields = dict(self.fields)
+        fields["duration_us"] = duration
+        if exc_type is not None:
+            fields["error"] = exc_type.__name__
+        self.trace.emit(self.kind + ":end", **fields)
+        if self.histogram is not None:
+            self.histogram.observe(duration)
+
+
+class EventTrace:
+    """Bounded structured-event ring buffer.
+
+    Parameters
+    ----------
+    capacity
+        Events retained; older events are dropped (and counted).
+    clock
+        Simulated-time source; when absent, a logical sequence is used.
+    sink
+        Optional writable text stream receiving one JSON line per event
+        as it happens (the ring still retains its window).
+    enabled
+        Tracing can be switched off wholesale; ``emit`` then costs one
+        attribute check.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: Optional[Callable[[], float]] = None,
+        sink: Optional[TextIO] = None,
+        enabled: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+        self.dropped = 0
+        self.enabled = enabled
+        self.sink = sink
+        self._clock = clock
+        self._seq = 0
+
+    def set_clock(self, clock: Optional[Callable[[], float]]) -> None:
+        self._clock = clock
+
+    def now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        self._seq += 1
+        return float(self._seq)
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> None:
+        if not self.enabled:
+            return
+        event = TraceEvent(self.now(), kind, fields)
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+        self.emitted += 1
+        if self.sink is not None:
+            self.sink.write(json.dumps(event.as_dict(), default=str) + "\n")
+
+    def span(self, kind: str, histogram=None, **fields) -> Span:
+        """Begin/end event pair timing one operation; see :class:`Span`."""
+        return Span(self, kind, histogram, fields)
+
+    # -- inspection / export --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def summary(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "retained": len(self.events),
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+        }
+
+    def to_jsonl(self, path) -> int:
+        """Dump the retained window as JSON lines; returns events written."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event.as_dict(), default=str) + "\n")
+        return len(self.events)

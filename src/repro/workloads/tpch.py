@@ -20,7 +20,7 @@ import struct
 from typing import Callable, Tuple
 
 from ..db.database import Database
-from ..db.heap import pack_rid, unpack_rid
+from ..db.heap import pack_rid
 from .base import Workload
 
 __all__ = ["TPCH"]

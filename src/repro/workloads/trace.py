@@ -16,12 +16,13 @@ in-memory database running the benchmarks for 60 minutes."*  Here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..core.storage import SyncNoFTLStorage
-from ..device.blockdev import SyncBlockDevice
-from .base import Workload  # noqa: F401  (re-exported context)
 from ..db.storage import StorageAdapter
+from ..device.blockdev import SyncBlockDevice
+from ..telemetry import sum_per_die
+from .base import Workload  # noqa: F401  (re-exported context)
 
 __all__ = ["TraceOp", "IOTrace", "TraceRecordingAdapter", "replay_trace",
            "ReplayReport"]
@@ -100,6 +101,9 @@ class ReplayReport:
     flash_reads: int
     flash_programs: int
     write_amplification: float
+    #: ``{"erase": {die: n}, "copyback": {die: n}, "program": {die: n}}``
+    #: — per-die breakdown from the telemetry registry.
+    per_die: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return self.__dict__.copy()
@@ -117,6 +121,7 @@ def replay_trace(trace: IOTrace, target, honor_trims: bool = True,
     if isinstance(target, SyncBlockDevice):
         array = target.executor.device.array
         stats = target.ftl.stats
+        ftl_registry = target.ftl.telemetry
         name = label or type(target.ftl).__name__
         for op in trace.ops:
             if op.kind == WRITE:
@@ -128,6 +133,7 @@ def replay_trace(trace: IOTrace, target, honor_trims: bool = True,
     elif isinstance(target, SyncNoFTLStorage):
         array = target.executor.device.array
         stats = target.manager.stats
+        ftl_registry = target.manager.telemetry
         name = label or "NoFTL"
         for op in trace.ops:
             if op.kind == WRITE:
@@ -138,15 +144,22 @@ def replay_trace(trace: IOTrace, target, honor_trims: bool = True,
                 target.trim(op.page_id)
     else:
         raise TypeError(f"unsupported replay target: {target!r}")
+    # Flash command totals come from the telemetry registry (the array's
+    # legacy ``counters`` attribute agrees — see test_telemetry.py).
+    registry = array.telemetry
     return ReplayReport(
         target=name,
         host_reads=stats.host_reads,
         host_writes=stats.host_writes,
         host_trims=stats.host_trims,
-        copybacks=array.counters.copybacks,
-        relocations=stats.gc_relocations,
-        erases=array.counters.erases,
-        flash_reads=array.counters.reads,
-        flash_programs=array.counters.programs,
+        copybacks=int(registry.value("flash.commands", op="copyback")),
+        relocations=int(ftl_registry.value("ftl.relocations")),
+        erases=int(registry.value("flash.commands", op="erase")),
+        flash_reads=int(registry.value("flash.commands", op="read")),
+        flash_programs=int(registry.value("flash.commands", op="program")),
         write_amplification=stats.write_amplification,
+        per_die={
+            op: sum_per_die(registry, op)
+            for op in ("erase", "copyback", "program")
+        },
     )

@@ -20,7 +20,7 @@ from repro.flash import (
     SyncExecutor,
     SyncFlashDevice,
 )
-from repro.ftl import FASTer, PageMapFTL
+from repro.ftl import FASTer
 
 GEO = Geometry(
     channels=2,

@@ -9,7 +9,6 @@ from repro.core import NoFTLConfig, NoFTLStorage, NoFTLStorageManager
 from repro.db import (
     Database,
     DuplicateKeyError,
-    LockMode,
     NoFTLStorageAdapter,
     RAMStorageAdapter,
     RID,

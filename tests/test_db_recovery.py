@@ -15,7 +15,6 @@ from repro.core import NoFTLConfig, NoFTLStorage, NoFTLStorageManager
 from repro.db import (
     Database,
     NoFTLStorageAdapter,
-    RAMStorageAdapter,
     recover_database,
 )
 from repro.flash import (

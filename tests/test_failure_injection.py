@@ -8,7 +8,6 @@ import pytest
 from repro.core import NoFTLConfig, NoFTLStorageManager, SyncNoFTLStorage
 from repro.db import Database, RAMStorageAdapter
 from repro.flash import (
-    EraseBlock,
     FlashArray,
     Geometry,
     SLC_TIMING,

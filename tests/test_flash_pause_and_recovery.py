@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core import NoFTLConfig, NoFTLStorage, NoFTLStorageManager, SyncNoFTLStorage
 from repro.flash import (

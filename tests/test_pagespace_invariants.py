@@ -3,7 +3,6 @@ the engine both PageMapFTL and NoFTL stand on."""
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
