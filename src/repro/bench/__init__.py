@@ -11,9 +11,11 @@
 | ``parallelism``   | §3.2 — 32 NCQ slots vs ~160 native flash commands  |
 | ``lifetime``      | §5 — half the erases => ~2x flash lifetime         |
 | ``ablation``      | DESIGN.md E10 — NoFTL design-choice ablation       |
+| ``chaos``         | Fault model — TPC under injected flash faults      |
 """
 
 from .ablation import AblationResult, AblationRow, ablate_noftl
+from .chaos import ChaosReport, ChecksumOracle, default_chaos_plan, run_chaos
 from .dftl_slowdown import DFTLPoint, DFTLResult, dftl_slowdown
 from .fig3 import Fig3Result, Fig3Row, fig3_gc_overhead, record_trace
 from .fig4 import Fig4Point, Fig4Result, fig4_dbwriters
@@ -43,6 +45,7 @@ from .validation import ValidationReport, ValidationRow, validate_emulator
 
 __all__ = [
     "AblationResult", "AblationRow", "ablate_noftl",
+    "ChaosReport", "ChecksumOracle", "default_chaos_plan", "run_chaos",
     "DFTLPoint", "DFTLResult", "dftl_slowdown",
     "Fig3Result", "Fig3Row", "fig3_gc_overhead", "record_trace",
     "Fig4Point", "Fig4Result", "fig4_dbwriters",

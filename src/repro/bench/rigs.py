@@ -16,6 +16,7 @@ from ..core import NoFTLConfig, NoFTLStorage, NoFTLStorageManager, SyncNoFTLStor
 from ..db import Database, BlockDeviceAdapter, NoFTLStorageAdapter
 from ..device import BlockDevice, SyncBlockDevice
 from ..flash import (
+    FaultPlan,
     FlashArray,
     Geometry,
     MLC_TIMING,
@@ -168,12 +169,15 @@ def build_noftl_rig(
     config: Optional[NoFTLConfig] = None,
     seed: int = 0,
     telemetry: Optional[MetricsRegistry] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    store_data: bool = True,
 ) -> NoFTLRig:
     """Figure 1.c: DBMS on native flash through NoFTL."""
     sim = Simulator()
     telemetry = telemetry or MetricsRegistry()
     array = FlashArray(geometry, timing, rng=random.Random(seed),
-                       telemetry=telemetry)
+                       telemetry=telemetry, fault_plan=fault_plan,
+                       store_data=store_data)
     executor = SimExecutor(SimFlashDevice(sim, array))
     manager = NoFTLStorageManager(
         geometry,
@@ -217,11 +221,13 @@ def build_sync_noftl(
     seed: int = 0,
     store_data: bool = False,
     telemetry: Optional[MetricsRegistry] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ):
     """Synchronous NoFTL target for trace replay (Figure 3)."""
     telemetry = telemetry or MetricsRegistry()
     array = FlashArray(geometry, timing, store_data=store_data,
-                       rng=random.Random(seed), telemetry=telemetry)
+                       rng=random.Random(seed), telemetry=telemetry,
+                       fault_plan=fault_plan)
     executor = SyncExecutor(SyncFlashDevice(array))
     manager = NoFTLStorageManager(
         geometry, config or NoFTLConfig(op_ratio=0.12),

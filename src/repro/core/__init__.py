@@ -12,7 +12,7 @@ Public surface:
 * :class:`BadBlockManager`.
 """
 
-from .badblock import BadBlockManager
+from .badblock import BadBlockManager, DegradedModeError
 from .config import NoFTLConfig
 from .manager import NoFTLStorageManager
 from .regions import Region, RegionManager
@@ -20,6 +20,7 @@ from .storage import NoFTLStorage, SyncNoFTLStorage
 
 __all__ = [
     "BadBlockManager",
+    "DegradedModeError",
     "NoFTLConfig",
     "NoFTLStorageManager",
     "Region",

@@ -39,6 +39,17 @@ class NoFTLConfig:
     honor_trims
         Apply DBMS deallocation hints (free-space-manager integration);
         turning this off reproduces black-box behaviour for ablation.
+    spare_watermark
+        Fraction of the over-provisioned (spare) blocks that may go bad
+        before the device enters read-only degraded mode.
+    read_retry_limit
+        Extra read attempts after an ECC failure before the error
+        propagates to the caller.
+    outage_retry_limit
+        Pause-retry rounds while a die sits in an outage window.
+    scrub_on_retry
+        Relocate pages whose read only succeeded after retries and mark
+        their block suspect for priority GC.
     """
 
     num_regions: Optional[int] = None
@@ -50,9 +61,17 @@ class NoFTLConfig:
     wear_level_delta: Optional[int] = 20
     wear_level_check_every: int = 64
     honor_trims: bool = True
+    spare_watermark: float = 0.75
+    read_retry_limit: int = 4
+    outage_retry_limit: int = 150
+    scrub_on_retry: bool = True
 
     def __post_init__(self):
         if self.num_regions is not None and self.num_regions < 1:
             raise ValueError("num_regions must be >= 1")
         if not 0.0 < self.op_ratio < 0.9:
             raise ValueError("op_ratio must be in (0, 0.9)")
+        if not 0.0 < self.spare_watermark <= 1.0:
+            raise ValueError("spare_watermark must be in (0, 1]")
+        if self.read_retry_limit < 0 or self.outage_retry_limit < 0:
+            raise ValueError("retry limits must be >= 0")

@@ -29,7 +29,7 @@ import random
 from typing import Iterable, Optional
 
 from ..flash.commands import ReadOob
-from ..flash.errors import ReadUnwrittenError
+from ..flash.errors import ReadUnwrittenError, UncorrectableError
 from ..flash.geometry import Geometry
 from ..ftl.base import FTLStats, MappingState
 from ..ftl.pagespace import PageMappedSpace
@@ -66,9 +66,23 @@ class NoFTLStorageManager:
             geometry.total_pages * (1.0 - self.config.op_ratio)
         )
         self.mapping = MappingState(geometry, self.logical_pages)
-        self.bad_blocks = BadBlockManager(geometry, factory_bad_blocks)
+        # Spare capacity backing bad-block replacement is exactly the
+        # over-provisioned block count; once the watermark's worth of it
+        # is bad, the device goes read-only degraded.
+        spare_blocks = max(
+            1, int(geometry.total_blocks * self.config.op_ratio)
+        )
+        self.bad_blocks = BadBlockManager(
+            geometry, factory_bad_blocks,
+            spare_blocks=spare_blocks,
+            watermark=self.config.spare_watermark,
+        )
         self.regions = RegionManager(geometry, self.config.num_regions)
         self._rng = rng or random.Random(0)
+        self._tm_degraded = self.telemetry.gauge(
+            "noftl.degraded", layer="noftl"
+        )
+        self._tm_degraded.set(0)
         for region in self.regions.regions:
             space = PageMappedSpace(
                 geometry,
@@ -86,9 +100,19 @@ class NoFTLStorageManager:
                 rng=self._rng,
                 telemetry=self.telemetry,
                 trace=self.trace,
+                read_retry_limit=self.config.read_retry_limit,
+                outage_retry_limit=self.config.outage_retry_limit,
+                scrub_on_retry=self.config.scrub_on_retry,
+                metric_prefix="noftl",
             )
-            space.on_grown_bad = self.bad_blocks.report_grown
+            space.on_grown_bad = self._on_grown_bad
             region.space = space
+
+    def _on_grown_bad(self, pbn: int) -> None:
+        """Spaces report retired blocks here; the degraded gauge tracks
+        the spare-capacity watermark as capacity erodes."""
+        self.bad_blocks.report_grown(pbn)
+        self._tm_degraded.set(1 if self.bad_blocks.degraded else 0)
 
     @property
     def num_regions(self) -> int:
@@ -127,6 +151,10 @@ class NoFTLStorageManager:
         self._check_lpn(lpn)
         if hint not in ("hot", "cold"):
             raise ValueError(f"unknown temperature hint: {hint!r}")
+        # Degraded mode: spare capacity is below the safety floor — refuse
+        # new writes (reads and trims keep working) so the administrator
+        # can evacuate the device instead of wedging it completely.
+        self.bad_blocks.check_writable()
         self.stats.host_writes += 1
         yield from self._space_of(lpn).write(lpn, data, stream=hint)
 
@@ -164,6 +192,11 @@ class NoFTLStorageManager:
                 result = yield ReadOob(ppn=ppn)
             except ReadUnwrittenError:
                 continue
+            except UncorrectableError:
+                # Unreadable spare area: the page's mapping (if any) is
+                # unrecoverable, but the block clearly holds programs.
+                programmed_blocks.add(self.geometry.block_of_ppn(ppn))
+                continue
             programmed_blocks.add(self.geometry.block_of_ppn(ppn))
             oob = result.oob
             if not isinstance(oob, dict) or "lpn" not in oob:
@@ -191,6 +224,11 @@ class NoFTLStorageManager:
         return len(newest)
 
     # -- introspection --------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Device health as the administrator sees it: bad-block budget,
+        spare capacity and the degraded (read-only) flag."""
+        return self.bad_blocks.health()
 
     def occupancy(self) -> dict:
         per_region = [region.space.occupancy()

@@ -7,7 +7,7 @@ PROGRAM PAGE / COPYBACK / ERASE BLOCK / IDENTIFY with realistic per-command
 latency and die/channel parallelism.
 """
 
-from .array import ArrayCounters, FlashArray
+from .array import ArrayCounters, FlashArray, page_checksum
 from .commands import (
     CommandResult,
     Copyback,
@@ -24,13 +24,17 @@ from .errors import (
     BadBlockError,
     BlockWornOut,
     CopybackPlaneError,
+    DieOutageError,
+    EraseError,
     FlashError,
     OverwriteError,
+    ProgramError,
     ProgramSequenceError,
     ReadUnwrittenError,
     UncorrectableError,
 )
 from .executor import FlashOp, SimExecutor, SyncExecutor
+from .faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
 from .geometry import FlashAddress, Geometry
 from .timing import (
     MLC_TIMING,
@@ -44,6 +48,14 @@ from .timing import (
 __all__ = [
     "ArrayCounters",
     "FlashArray",
+    "page_checksum",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "DieOutageError",
+    "EraseError",
+    "ProgramError",
     "CommandResult",
     "Copyback",
     "EraseBlock",

@@ -20,7 +20,9 @@ Enforced NAND rules:
 
 from __future__ import annotations
 
+import pickle
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -39,16 +41,37 @@ from .errors import (
     BadBlockError,
     BlockWornOut,
     CopybackPlaneError,
+    EraseError,
     OverwriteError,
+    ProgramError,
     ProgramSequenceError,
     ReadUnwrittenError,
     UncorrectableError,
 )
+from .faults import FaultInjector, FaultPlan
 from .geometry import Geometry
 from .timing import MLC_TIMING, TimingSpec
 from ..telemetry import FLASH_OPS, MetricsRegistry
 
-__all__ = ["FlashArray", "ArrayCounters"]
+__all__ = ["FlashArray", "ArrayCounters", "page_checksum"]
+
+
+def page_checksum(data: Any) -> Optional[int]:
+    """Cheap CRC32 of an arbitrary page payload (None for empty pages).
+
+    Used by the array to detect torn/corrupted pages on read, and by the
+    chaos rig's oracle to compare what was written with what came back.
+    """
+    if data is None:
+        return None
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        payload = bytes(data)
+    else:
+        try:
+            payload = pickle.dumps(data, protocol=4)
+        except Exception:
+            payload = repr(data).encode()
+    return zlib.crc32(payload)
 
 
 @dataclass
@@ -90,7 +113,18 @@ class FlashArray:
         Fraction of factory-bad blocks, drawn with ``rng``.
     read_error_rate
         Probability that any single page read raises
-        :class:`UncorrectableError` (failure-injection hook; default off).
+        :class:`UncorrectableError`.  Compatibility shim over the fault
+        injector: it maps to one address-free ``transient_read`` spec and
+        stays settable at runtime.
+    fault_plan
+        A :class:`~repro.flash.faults.FaultPlan` of scripted faults
+        (transient/persistent uncorrectable reads, program and erase
+        failures, die outage windows, latency spikes).  The injector is
+        exposed as ``self.fault_injector``.
+    checksum
+        Keep a CRC32 per programmed page (when ``store_data``) and verify
+        it on every read, so torn/corrupted pages surface as
+        :class:`UncorrectableError` instead of silently wrong data.
     telemetry
         Shared :class:`~repro.telemetry.MetricsRegistry`; a private one is
         created when omitted.  The array owns the per-die command counters
@@ -107,6 +141,8 @@ class FlashArray:
         max_erase_cycles: Optional[int] = None,
         initial_bad_block_rate: float = 0.0,
         read_error_rate: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
+        checksum: bool = True,
         rng: Optional[random.Random] = None,
         telemetry: Optional[MetricsRegistry] = None,
     ):
@@ -118,7 +154,7 @@ class FlashArray:
         self.timing = timing
         self.store_data = store_data
         self.max_erase_cycles = max_erase_cycles
-        self.read_error_rate = read_error_rate
+        self.checksum = checksum
         self._rng = rng or random.Random(0)
 
         nblocks = geometry.total_blocks
@@ -128,6 +164,7 @@ class FlashArray:
         self._bad: List[bool] = [False] * nblocks
         self._data: Dict[int, Any] = {}
         self._oob: Dict[int, Any] = {}
+        self._crc: Dict[int, Optional[int]] = {}
         self.counters = ArrayCounters(per_die_ops=[0] * geometry.total_dies)
 
         # Telemetry: counters resolved once here, bumped as plain attribute
@@ -146,10 +183,26 @@ class FlashArray:
             for die in range(dies)
         ]
 
+        self.fault_injector = FaultInjector(fault_plan, telemetry=self.telemetry)
+        if read_error_rate:
+            self.read_error_rate = read_error_rate
+
         if initial_bad_block_rate > 0:
             for pbn in range(nblocks):
                 if self._rng.random() < initial_bad_block_rate:
                     self._bad[pbn] = True
+
+    # -- fault-injection compatibility shim --------------------------------------
+
+    @property
+    def read_error_rate(self) -> float:
+        return self.fault_injector.rate_of("transient_read")
+
+    @read_error_rate.setter
+    def read_error_rate(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("read_error_rate must be in [0, 1]")
+        self.fault_injector.set_rate_spec("transient_read", rate)
 
     # -- inspection ------------------------------------------------------------
 
@@ -193,24 +246,40 @@ class FlashArray:
     # -- command execution -------------------------------------------------------
 
     def apply(self, command: FlashCommand) -> CommandResult:
-        """Validate + execute one command, returning data and latency."""
+        """Validate + execute one command, returning data and latency.
+
+        Every command — including Pause — advances the fault injector's
+        operation counter, so outage/latency windows expire even while a
+        lone operation is backing off with Pauses.
+        """
+        self.fault_injector.tick()
         if isinstance(command, ReadPage):
-            return self._read(command)
-        if isinstance(command, ProgramPage):
-            return self._program(command)
-        if isinstance(command, EraseBlock):
-            return self._erase(command)
-        if isinstance(command, Copyback):
-            return self._copyback(command)
-        if isinstance(command, ReadOob):
-            return self._read_oob(command)
-        if isinstance(command, Identify):
+            result = self._read(command)
+        elif isinstance(command, ProgramPage):
+            result = self._program(command)
+        elif isinstance(command, EraseBlock):
+            result = self._erase(command)
+        elif isinstance(command, Copyback):
+            result = self._copyback(command)
+        elif isinstance(command, ReadOob):
+            result = self._read_oob(command)
+        elif isinstance(command, Identify):
             return CommandResult(command, latency_us=self.timing.cmd_overhead_us,
                                  data=self.geometry.describe())
-        if isinstance(command, Pause):
+        elif isinstance(command, Pause):
             self.counters.busy_us += command.duration_us
             return CommandResult(command, latency_us=command.duration_us)
-        raise TypeError(f"unknown flash command: {command!r}")
+        else:
+            raise TypeError(f"unknown flash command: {command!r}")
+        if result.die is not None:
+            factor = self.fault_injector.latency_factor(result.die)
+            if factor != 1.0:
+                extra = result.latency_us * (factor - 1.0)
+                result.latency_us += extra
+                result.extra["fault_extra_us"] = extra
+                self.counters.busy_us += extra
+                self._tm_busy[result.die].inc(extra)
+        return result
 
     def die_of_command(self, command: FlashCommand) -> Optional[int]:
         """Global die a command will occupy (None for Identify)."""
@@ -230,8 +299,10 @@ class FlashArray:
         ppn = command.ppn
         if not self.is_programmed(ppn):
             raise ReadUnwrittenError(f"read of unwritten page ppn={ppn}")
-        if self.read_error_rate and self._rng.random() < self.read_error_rate:
-            raise UncorrectableError(f"uncorrectable read at ppn={ppn}")
+        self.fault_injector.check_read(
+            ppn, self.geometry.block_of_ppn(ppn), self.geometry.die_of_ppn(ppn)
+        )
+        self._verify_checksum(ppn)
         self.counters.reads += 1
         die = self._bump_die(ppn)
         latency = self.timing.read_latency_us(self.geometry.page_bytes)
@@ -250,11 +321,23 @@ class FlashArray:
         ppn = command.ppn
         pbn = self.geometry.block_of_ppn(ppn)
         offset = self.geometry.page_offset_of_ppn(ppn)
+        # Outage check first: the die never saw the command, nothing is
+        # consumed, the caller may retry the identical program.
+        failed = self.fault_injector.check_program(
+            ppn, pbn, self.geometry.die_of_ppn(ppn)
+        )
         self._check_programmable(ppn, pbn, offset)
         self._next_page[pbn] = offset + 1
         self._programmed.add(ppn)
         if self.store_data:
             self._data[ppn] = command.data
+            if self.checksum:
+                crc = page_checksum(command.data)
+                # A failed program leaves indeterminate bits behind: keep
+                # the payload but poison the CRC so any later read of the
+                # consumed page surfaces as an uncorrectable (torn) page.
+                self._crc[ppn] = (crc ^ 0xFFFFFFFF) if failed and crc is not None \
+                    else crc
         self._oob[ppn] = command.oob
         self.counters.programs += 1
         die = self._bump_die(ppn)
@@ -262,6 +345,8 @@ class FlashArray:
         self.counters.busy_us += latency
         self._tm_ops["program"][die].inc()
         self._tm_busy[die].inc(latency)
+        if failed:
+            raise ProgramError(ppn, pbn)
         return CommandResult(command, latency_us=latency, die=die)
 
     def _erase(self, command: EraseBlock) -> CommandResult:
@@ -269,6 +354,14 @@ class FlashArray:
         self.geometry._check_block(pbn)
         if self._bad[pbn]:
             raise BadBlockError(f"erase of bad block pbn={pbn}")
+        failed = self.fault_injector.check_erase(
+            pbn, self.geometry.die_of_block(pbn)
+        )
+        if failed:
+            # The erase pulse failed; the block is retired on the spot
+            # (same contract as BlockWornOut: marked bad before raising).
+            self._bad[pbn] = True
+            raise EraseError(pbn, self.erase_counts[pbn])
         self.erase_counts[pbn] += 1
         self._wipe_block(pbn)
         self.counters.erases += 1
@@ -295,26 +388,46 @@ class FlashArray:
             )
         if not self.is_programmed(src):
             raise ReadUnwrittenError(f"copyback from unwritten page ppn={src}")
+        die = self.geometry.die_of_ppn(src)
+        # Copyback internally reads the source page: read faults and
+        # checksum damage surface here, *before* the destination slot is
+        # consumed, so the caller can fall back to read-retry + program
+        # against the very same destination page.
+        self.fault_injector.check_read(
+            src, self.geometry.block_of_ppn(src), die, op="copyback"
+        )
+        self._verify_checksum(src)
         dst_pbn = self.geometry.block_of_ppn(dst)
         dst_offset = self.geometry.page_offset_of_ppn(dst)
+        failed = self.fault_injector.check_program(dst, dst_pbn, die)
         self._check_programmable(dst, dst_pbn, dst_offset)
         self._next_page[dst_pbn] = dst_offset + 1
         self._programmed.add(dst)
         if self.store_data:
             self._data[dst] = self._data.get(src)
+            if self.checksum:
+                crc = self._crc.get(src)
+                self._crc[dst] = (crc ^ 0xFFFFFFFF) if failed and crc is not None \
+                    else crc
         self._oob[dst] = command.oob if command.oob is not None else self._oob.get(src)
         self.counters.copybacks += 1
-        die = self._bump_die(src)
+        self._bump_die(src)
         latency = self.timing.copyback_latency_us()
         self.counters.busy_us += latency
         self._tm_ops["copyback"][die].inc()
         self._tm_busy[die].inc(latency)
+        if failed:
+            raise ProgramError(dst, dst_pbn)
         return CommandResult(command, latency_us=latency, die=die)
 
     def _read_oob(self, command: ReadOob) -> CommandResult:
         ppn = command.ppn
         if not self.is_programmed(ppn):
             raise ReadUnwrittenError(f"OOB read of unwritten page ppn={ppn}")
+        self.fault_injector.check_read(
+            ppn, self.geometry.block_of_ppn(ppn),
+            self.geometry.die_of_ppn(ppn), op="oob_read",
+        )
         self.counters.oob_reads += 1
         die = self._bump_die(ppn)
         latency = self.timing.cmd_overhead_us + self.timing.read_us + \
@@ -331,6 +444,25 @@ class FlashArray:
         """Administratively mark a block bad (used by bad-block managers)."""
         self.geometry._check_block(pbn)
         self._bad[pbn] = True
+
+    def corrupt_page(self, ppn: int) -> None:
+        """Test/chaos hook: flip the stored CRC of a programmed page so the
+        next read fails its checksum (a silent-corruption event)."""
+        if ppn not in self._programmed:
+            raise ReadUnwrittenError(f"cannot corrupt unwritten page ppn={ppn}")
+        crc = self._crc.get(ppn)
+        self._crc[ppn] = 0 if crc is None else crc ^ 0xFFFFFFFF
+
+    def _verify_checksum(self, ppn: int) -> None:
+        if not (self.checksum and self.store_data):
+            return
+        stored = self._crc.get(ppn)
+        if stored is None:
+            return
+        if page_checksum(self._data.get(ppn)) != stored:
+            raise UncorrectableError(
+                f"checksum mismatch at ppn={ppn} (torn/corrupted page)"
+            )
 
     def _check_programmable(self, ppn: int, pbn: int, offset: int) -> None:
         if self._bad[pbn]:
@@ -350,6 +482,7 @@ class FlashArray:
         for ppn in range(base, base + self._next_page[pbn]):
             self._data.pop(ppn, None)
             self._oob.pop(ppn, None)
+            self._crc.pop(ppn, None)
             self._programmed.discard(ppn)
         self._next_page[pbn] = 0
 

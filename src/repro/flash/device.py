@@ -158,6 +158,11 @@ class SimFlashDevice:
                 yield self.sim.timeout(result.latency_us)
             else:  # pragma: no cover - exhaustive above
                 yield self.sim.timeout(result.latency_us)
+            # Injected latency spikes: the array reports the extra service
+            # time; the die stays busy for it in simulated time too.
+            fault_extra = result.extra.get("fault_extra_us", 0.0)
+            if fault_extra:
+                yield self.sim.timeout(fault_extra)
         finally:
             die_resource.release()
             self._die_busy_us[die] += self.sim.now - acquired

@@ -16,6 +16,9 @@ __all__ = [
     "CopybackPlaneError",
     "UncorrectableError",
     "ReadUnwrittenError",
+    "ProgramError",
+    "EraseError",
+    "DieOutageError",
 ]
 
 
@@ -58,3 +61,45 @@ class UncorrectableError(FlashError):
 
 class ReadUnwrittenError(FlashError):
     """Read of a page that was never programmed since the last erase."""
+
+
+class ProgramError(FlashError):
+    """A PAGE PROGRAM failed mid-operation (status register error).
+
+    The target page is consumed — NAND cannot re-program a partially
+    programmed page — and whatever landed there must be treated as
+    corrupt.  The layer above remaps the in-flight write to a fresh block
+    and retires the failing one (grown bad block).
+    """
+
+    def __init__(self, ppn: int, pbn: int):
+        super().__init__(f"program failed at ppn={ppn} (block {pbn})")
+        self.ppn = ppn
+        self.pbn = pbn
+
+
+class EraseError(BlockWornOut):
+    """A BLOCK ERASE failed (status register error).
+
+    Subclasses :class:`BlockWornOut` deliberately: the array marks the
+    block bad before raising, and every existing grown-bad-block handler
+    (``except BlockWornOut``) already does exactly the right thing —
+    report the block and stop using it.
+    """
+
+    def __init__(self, pbn: int, erase_count: int = 0):
+        super().__init__(pbn, erase_count)
+        self.args = (f"erase failed at pbn={pbn} (grown bad block)",)
+
+
+class DieOutageError(FlashError):
+    """The target die is temporarily unreachable (power/channel fault).
+
+    Raised *before* any state change: the command was rejected, not
+    executed, so the caller may retry the identical command once the
+    outage window passes (bounded backoff with Pause).
+    """
+
+    def __init__(self, die: int):
+        super().__init__(f"die {die} is in an outage window")
+        self.die = die

@@ -1,0 +1,291 @@
+"""Deterministic fault injection for the NAND array.
+
+The paper's safety argument — "the database system is the single owner of
+the flash device" — only holds if the storage manager absorbs the ways
+real NAND misbehaves.  This module is the adversary: a seeded, scriptable
+fault model wired into :class:`~repro.flash.array.FlashArray`, replacing
+the old single ``read_error_rate`` knob (kept as a compatibility shim).
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries plus a seed.
+Each spec describes one fault source:
+
+* ``transient_read`` — a read raises
+  :class:`~repro.flash.errors.UncorrectableError`; a retry re-rolls (rate
+  based) or succeeds once the firing budget (``count``) is exhausted;
+* ``persistent_read`` — every matching read fails (grown media defect);
+* ``program_fail`` — a PAGE PROGRAM consumes its page but leaves it
+  corrupt and raises :class:`~repro.flash.errors.ProgramError`;
+* ``erase_fail`` — a BLOCK ERASE fails; the block is marked bad and
+  :class:`~repro.flash.errors.EraseError` is raised;
+* ``die_outage`` — during an operation-count window, every command to the
+  die is rejected with :class:`~repro.flash.errors.DieOutageError`
+  (no state change, retryable);
+* ``latency_spike`` — commands on the die take ``factor`` times longer
+  during the window (no error raised).
+
+Faults are addressable by ``ppn``, ``pbn`` and/or ``die`` (AND-ed; all
+``None`` matches everything), and can be gated by an operation-count
+``window`` — the injector counts every command the array executes
+(including Pause), so windows are deterministic in both sync and DES
+mode.  Probability draws come from one ``random.Random(plan.seed)``:
+the same plan against the same command sequence injects the identical
+fault sequence, which the determinism tests assert.
+
+Every firing is recorded in ``FaultInjector.events`` and counted in the
+telemetry family ``flash.faults.injected{kind, die}``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .errors import DieOutageError, UncorrectableError
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultInjector", "FAULT_KINDS"]
+
+FAULT_KINDS = (
+    "transient_read",
+    "persistent_read",
+    "program_fail",
+    "erase_fail",
+    "die_outage",
+    "latency_spike",
+)
+
+_READ_KINDS = ("transient_read", "persistent_read")
+
+
+@dataclass
+class FaultSpec:
+    """One fault source.
+
+    Attributes
+    ----------
+    kind
+        One of :data:`FAULT_KINDS`.
+    ppn, pbn, die
+        Address filters (AND-ed); ``None`` matches any.
+    rate
+        Firing probability per matching operation; ``None`` (default)
+        means the spec fires deterministically on every match (subject to
+        ``count``), ``0.0`` means it never fires.
+    count
+        Maximum number of firings; ``None`` is unlimited.  A
+        ``transient_read`` with ``count=2`` fails twice, then reads
+        cleanly — the "succeeds after retries" case the scrub path needs.
+    window
+        ``(start_op, end_op)`` half-open operation-count window outside
+        which the spec is dormant.  Required for ``die_outage`` and
+        ``latency_spike``.
+    factor
+        Latency multiplier for ``latency_spike``.
+    """
+
+    kind: str
+    ppn: Optional[int] = None
+    pbn: Optional[int] = None
+    die: Optional[int] = None
+    rate: Optional[float] = None
+    count: Optional[int] = None
+    window: Optional[Tuple[int, int]] = None
+    factor: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.rate is not None and not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.kind in ("die_outage", "latency_spike") and self.window is None:
+            raise ValueError(f"{self.kind} requires a window=(start, end)")
+        if self.kind == "latency_spike" and self.factor <= 0:
+            raise ValueError("latency_spike factor must be > 0")
+
+
+@dataclass
+class FaultPlan:
+    """A seeded script of fault sources for one device."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.specs.append(spec)
+        return self
+
+    @classmethod
+    def transient_reads(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """The old ``read_error_rate`` behaviour as a plan."""
+        return cls([FaultSpec(kind="transient_read", rate=rate)], seed=seed)
+
+
+class _LiveSpec:
+    """Runtime state of one spec (remaining firing budget)."""
+
+    __slots__ = ("spec", "remaining")
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self.remaining = spec.count
+
+    def matches(self, op: int, ppn: Optional[int], pbn: Optional[int],
+                die: Optional[int]) -> bool:
+        spec = self.spec
+        if self.remaining is not None and self.remaining <= 0:
+            return False
+        if spec.window is not None and not (
+            spec.window[0] <= op < spec.window[1]
+        ):
+            return False
+        if spec.ppn is not None and spec.ppn != ppn:
+            return False
+        if spec.pbn is not None and spec.pbn != pbn:
+            return False
+        if spec.die is not None and spec.die != die:
+            return False
+        return True
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against the array's command stream.
+
+    The array calls :meth:`tick` once per command, then the per-command
+    check hooks.  All decisions are functions of (plan, seed, command
+    sequence) only — no wall clock, no global state — so a run is exactly
+    reproducible from its seed.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None, telemetry=None):
+        self.plan = plan or FaultPlan()
+        self._live = [_LiveSpec(spec) for spec in self.plan.specs]
+        self._rng = random.Random(self.plan.seed)
+        self.telemetry = telemetry
+        self.ops = 0
+        #: (op_index, kind, detail) per firing — the determinism witness.
+        self.events: List[Tuple[int, str, tuple]] = []
+        self._counters = {}
+
+    # -- plan maintenance -------------------------------------------------------
+
+    def add_spec(self, spec: FaultSpec) -> None:
+        self.plan.specs.append(spec)
+        self._live.append(_LiveSpec(spec))
+
+    def set_rate_spec(self, kind: str, rate: float) -> None:
+        """Compatibility hook: keep exactly one address-free rate spec of
+        ``kind`` at ``rate`` (the old ``read_error_rate`` knob)."""
+        for live in self._live:
+            spec = live.spec
+            if (spec.kind == kind and spec.ppn is None and spec.pbn is None
+                    and spec.die is None and spec.window is None
+                    and spec.count is None):
+                spec.rate = rate
+                return
+        if rate > 0:
+            self.add_spec(FaultSpec(kind=kind, rate=rate))
+
+    def rate_of(self, kind: str) -> float:
+        for live in self._live:
+            spec = live.spec
+            if (spec.kind == kind and spec.ppn is None and spec.pbn is None
+                    and spec.die is None and spec.window is None
+                    and spec.count is None):
+                return spec.rate
+        return 0.0
+
+    # -- command hooks ----------------------------------------------------------
+
+    def tick(self) -> int:
+        """Advance the operation counter (one call per array command)."""
+        self.ops += 1
+        return self.ops
+
+    def _fire(self, live: _LiveSpec, detail: tuple) -> None:
+        if live.remaining is not None:
+            live.remaining -= 1
+        kind = live.spec.kind
+        die = detail[0] if detail else None
+        self.events.append((self.ops, kind, detail))
+        if self.telemetry is not None:
+            key = (kind, die)
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = self.telemetry.counter(
+                    "flash.faults.injected", layer="flash", kind=kind, die=die
+                )
+            counter.inc()
+
+    def _roll(self, live: _LiveSpec) -> bool:
+        if live.spec.rate is None:
+            return True  # deterministic spec: fires on every match
+        return self._rng.random() < live.spec.rate
+
+    def _check_outage(self, die: Optional[int]) -> None:
+        for live in self._live:
+            if live.spec.kind != "die_outage":
+                continue
+            if live.matches(self.ops, None, None, die) and self._roll(live):
+                self._fire(live, (die,))
+                raise DieOutageError(die)
+
+    def check_read(self, ppn: int, pbn: int, die: int,
+                   op: str = "read") -> None:
+        """Raise for a read-class access (READ PAGE, OOB read, the read
+        leg of COPYBACK).  Outage first — the die never saw the command —
+        then media faults."""
+        self._check_outage(die)
+        for live in self._live:
+            if live.spec.kind not in _READ_KINDS:
+                continue
+            if live.matches(self.ops, ppn, pbn, die) and self._roll(live):
+                self._fire(live, (die, op, ppn))
+                raise UncorrectableError(
+                    f"injected {live.spec.kind} at ppn={ppn} ({op})"
+                )
+
+    def check_program(self, ppn: int, pbn: int, die: int) -> bool:
+        """True when this PAGE PROGRAM must fail (page consumed, corrupt).
+        Raises :class:`DieOutageError` first when the die is out."""
+        self._check_outage(die)
+        for live in self._live:
+            if live.spec.kind != "program_fail":
+                continue
+            if live.matches(self.ops, ppn, pbn, die) and self._roll(live):
+                self._fire(live, (die, "program", ppn))
+                return True
+        return False
+
+    def check_erase(self, pbn: int, die: int) -> bool:
+        """True when this BLOCK ERASE must fail (block goes bad)."""
+        self._check_outage(die)
+        for live in self._live:
+            if live.spec.kind != "erase_fail":
+                continue
+            if live.matches(self.ops, None, pbn, die) and self._roll(live):
+                self._fire(live, (die, "erase", pbn))
+                return True
+        return False
+
+    def latency_factor(self, die: Optional[int]) -> float:
+        """Combined latency multiplier for a command on ``die`` now.
+
+        Each slowed command is recorded as a ``latency_spike`` firing so
+        the event log and telemetry show the window actually hit."""
+        factor = 1.0
+        for live in self._live:
+            if live.spec.kind != "latency_spike":
+                continue
+            if live.matches(self.ops, None, None, die):
+                factor *= live.spec.factor
+                self._fire(live, (die, "latency", live.spec.factor))
+        return factor
+
+    # -- introspection ----------------------------------------------------------
+
+    def injected_counts(self) -> dict:
+        """Firings per kind (from the event log; registry-independent)."""
+        out: dict = {}
+        for __, kind, __detail in self.events:
+            out[kind] = out.get(kind, 0) + 1
+        return out

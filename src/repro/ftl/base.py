@@ -13,7 +13,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional
 
-from ..flash.commands import Copyback, ProgramPage, ReadPage
+from ..flash.commands import Copyback, Pause, ProgramPage, ReadPage
+from ..flash.errors import DieOutageError, UncorrectableError
 from ..flash.geometry import Geometry
 from ..telemetry import EventTrace, MetricsRegistry
 
@@ -23,6 +24,7 @@ __all__ = [
     "MappingState",
     "BlockPool",
     "relocate_page",
+    "read_page_with_retry",
     "UNMAPPED",
 ]
 
@@ -55,6 +57,10 @@ class FTLStats:
     second_chances: int = 0  # FASTer isolation-area migrations
     wl_moves: int = 0
     grown_bad_blocks: int = 0
+    read_retries: int = 0    # reads that needed another attempt (ECC/outage)
+    scrubs: int = 0          # pages relocated after a retried read
+    program_remaps: int = 0  # in-flight writes remapped after ProgramError
+    relocation_skips: int = 0  # GC/merge pages skipped as unreadable
     extra: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -79,6 +85,8 @@ class FTLStats:
                 "gc_erases", "map_reads", "map_programs",
                 "merges_full", "merges_switch", "merges_partial",
                 "second_chances", "wl_moves", "grown_bad_blocks",
+                "read_retries", "scrubs", "program_remaps",
+                "relocation_skips",
             )
         }
         data["write_amplification"] = self.write_amplification
@@ -110,6 +118,14 @@ class BaseFTL:
             else EventTrace(clock=self.telemetry.now)
         self.telemetry.register_collector(
             f"ftl.{type(self).__name__}", self.stats.snapshot
+        )
+        # Shared recovery counters: every FTL's read path retries through
+        # these, so chaos dashboards see one family per layer.
+        self._tm_read_retries = self.telemetry.counter(
+            "ftl.read_retries", layer="ftl"
+        )
+        self._tm_relocation_skips = self.telemetry.counter(
+            "ftl.gc.relocation_skips", layer="ftl"
         )
 
     @property
@@ -242,23 +258,96 @@ class BlockPool:
         return list(self._free)
 
 
+def read_page_with_retry(ppn: int, *, stats: Optional[FTLStats] = None,
+                         counter=None, retries: int = 4,
+                         outage_retries: int = 150,
+                         backoff_us: float = 50.0):
+    """READ PAGE with bounded retry; returns ``(result, ecc_retries)``.
+
+    A flash-command generator.  Two failure classes are handled:
+
+    * :class:`UncorrectableError` (ECC) — re-read after a linear backoff
+      Pause, up to ``retries`` extra attempts, then re-raise.  Transient
+      read disturb clears on retry; a persistent media defect exhausts the
+      budget and propagates to the caller.
+    * :class:`DieOutageError` — the die rejected the command with no state
+      change; wait out the window with an escalating Pause (op-count
+      windows advance on Pause commands too), up to ``outage_retries``.
+
+    ``stats.read_retries`` and ``counter`` count every extra ECC attempt.
+    """
+    ecc = 0
+    waits = 0
+    while True:
+        try:
+            result = yield ReadPage(ppn=ppn)
+            return result, ecc
+        except UncorrectableError:
+            ecc += 1
+            if stats is not None:
+                stats.read_retries += 1
+            if counter is not None:
+                counter.inc()
+            if ecc > retries:
+                raise
+            yield Pause(duration_us=backoff_us * ecc)
+        except DieOutageError:
+            waits += 1
+            if waits > outage_retries:
+                raise
+            yield Pause(duration_us=min(backoff_us * (2 ** min(waits, 5)),
+                                        2000.0))
+
+
 def relocate_page(geometry: Geometry, src_ppn: int, dst_ppn: int,
-                  stats: FTLStats, oob=None, counter=None):
+                  stats: FTLStats, oob=None, counter=None,
+                  retries: int = 4, outage_retries: int = 150):
     """Move one valid page, preferring COPYBACK when planes match.
 
-    A flash-command generator; returns nothing.  Updates the relocation
-    counters that Figure 3 reports; ``counter`` is the caller's
-    ``ftl.relocations`` telemetry counter, bumped alongside.
+    A flash-command generator; returns ``True`` when the page moved and
+    ``False`` when the source proved unreadable even after retries — the
+    caller must then skip-and-record (``stats.relocation_skips`` is bumped
+    here) rather than abort its GC/merge.  The array checks source faults
+    before consuming the copyback destination slot, so the read-retry +
+    program fallback can reuse the same ``dst_ppn``.
+
+    Updates the relocation counters that Figure 3 reports; ``counter`` is
+    the caller's ``ftl.relocations`` telemetry counter, bumped alongside.
     """
+    if geometry.same_plane(src_ppn, dst_ppn):
+        try:
+            yield Copyback(src_ppn=src_ppn, dst_ppn=dst_ppn, oob=oob)
+        except (UncorrectableError, DieOutageError):
+            pass  # fall through to the read/program path with retries
+        else:
+            stats.gc_relocations += 1
+            stats.gc_copybacks += 1
+            if counter is not None:
+                counter.inc()
+            return True
+    try:
+        result, __ = yield from read_page_with_retry(
+            src_ppn, stats=stats, retries=retries,
+            outage_retries=outage_retries,
+        )
+    except UncorrectableError:
+        stats.relocation_skips += 1
+        return False
+    stats.gc_reads += 1
+    waits = 0
+    while True:
+        try:
+            yield ProgramPage(ppn=dst_ppn, data=result.data,
+                              oob=oob if oob is not None else result.oob)
+            break
+        except DieOutageError:
+            # Rejected before the slot was consumed; wait out the window.
+            waits += 1
+            if waits > outage_retries:
+                raise
+            yield Pause(duration_us=min(50.0 * (2 ** min(waits, 5)), 2000.0))
     stats.gc_relocations += 1
+    stats.gc_programs += 1
     if counter is not None:
         counter.inc()
-    if geometry.same_plane(src_ppn, dst_ppn):
-        stats.gc_copybacks += 1
-        yield Copyback(src_ppn=src_ppn, dst_ppn=dst_ppn, oob=oob)
-    else:
-        stats.gc_reads += 1
-        stats.gc_programs += 1
-        result = yield ReadPage(ppn=src_ppn)
-        yield ProgramPage(ppn=dst_ppn, data=result.data,
-                          oob=oob if oob is not None else result.oob)
+    return True

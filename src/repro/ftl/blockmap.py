@@ -12,10 +12,10 @@ import random
 from collections import deque
 from typing import Deque, Dict, Iterable, Optional
 
-from ..flash.commands import EraseBlock, ProgramPage, ReadPage
+from ..flash.commands import EraseBlock, ProgramPage
 from ..flash.errors import BlockWornOut
 from ..flash.geometry import Geometry
-from .base import UNMAPPED, BaseFTL, relocate_page
+from .base import UNMAPPED, BaseFTL, read_page_with_retry, relocate_page
 
 __all__ = ["BlockMapFTL"]
 
@@ -54,7 +54,10 @@ class BlockMapFTL(BaseFTL):
         pbn = self.block_map.get(lbn, UNMAPPED)
         if pbn == UNMAPPED or offset not in self._written.get(lbn, ()):
             return None
-        result = yield ReadPage(ppn=self.geometry.ppn_of(pbn, offset))
+        result, __ = yield from read_page_with_retry(
+            self.geometry.ppn_of(pbn, offset),
+            stats=self.stats, counter=self._tm_read_retries,
+        )
         return result.data
 
     def write(self, lpn: int, data=None):
@@ -90,7 +93,11 @@ class BlockMapFTL(BaseFTL):
                 high = page + 1
             elif page in written:
                 src = self.geometry.ppn_of(old_pbn, page)
-                yield from relocate_page(self.geometry, src, dst, self.stats)
+                ok = yield from relocate_page(self.geometry, src, dst,
+                                              self.stats)
+                if not ok:
+                    self._tm_relocation_skips.inc()
+                    continue  # unreadable source: recorded, page dropped
                 new_written.add(page)
                 high = page + 1
         self.block_map[lbn] = new_pbn

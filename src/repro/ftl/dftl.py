@@ -32,10 +32,9 @@ import random
 from collections import OrderedDict
 from typing import Iterable, List, Optional, Tuple
 
-from ..flash.commands import ReadPage
 from ..flash.geometry import Geometry
 from ..telemetry import MetricsRegistry
-from .base import UNMAPPED, BaseFTL, MappingState
+from .base import UNMAPPED, BaseFTL, MappingState, read_page_with_retry
 from .pagespace import PageMappedSpace
 
 __all__ = ["DFTL"]
@@ -131,7 +130,9 @@ class DFTL(BaseFTL):
         ppn = self.mapping.lookup(lpn)
         if ppn == UNMAPPED:
             return None
-        result = yield ReadPage(ppn=ppn)
+        result, __ = yield from read_page_with_retry(
+            ppn, stats=self.stats, counter=self._tm_read_retries
+        )
         return result.data
 
     def write(self, lpn: int, data=None):
@@ -175,7 +176,10 @@ class DFTL(BaseFTL):
         tvpn = self._tvpn_of(lpn)
         if self._tp_exists(tvpn):
             self.stats.map_reads += 1
-            yield ReadPage(ppn=self.mapping.lookup(self._tp_lpn(tvpn)))
+            yield from read_page_with_retry(
+                self.mapping.lookup(self._tp_lpn(tvpn)),
+                stats=self.stats, counter=self._tm_read_retries,
+            )
         self._cmt[lpn] = False  # clean
 
     def _writeback_tvpn(self, tvpn: int):
@@ -183,7 +187,10 @@ class DFTL(BaseFTL):
         cleaning every dirty CMT entry it covers (batching optimisation)."""
         if self._tp_exists(tvpn):
             self.stats.map_reads += 1
-            yield ReadPage(ppn=self.mapping.lookup(self._tp_lpn(tvpn)))
+            yield from read_page_with_retry(
+                self.mapping.lookup(self._tp_lpn(tvpn)),
+                stats=self.stats, counter=self._tm_read_retries,
+            )
         self.stats.map_programs += 1
         yield from self.space.write(self._tp_lpn(tvpn), data=("TP", tvpn))
         low = tvpn * self.entries_per_tp

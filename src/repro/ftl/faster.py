@@ -30,11 +30,11 @@ import random
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Set
 
-from ..flash.commands import EraseBlock, Pause, ProgramPage, ReadPage
-from ..flash.errors import BlockWornOut
+from ..flash.commands import EraseBlock, Pause, ProgramPage
+from ..flash.errors import BlockWornOut, DieOutageError, UncorrectableError
 from ..flash.geometry import Geometry
 from ..telemetry import MetricsRegistry
-from .base import BaseFTL, relocate_page
+from .base import BaseFTL, read_page_with_retry, relocate_page
 
 __all__ = ["FASTer"]
 
@@ -143,7 +143,9 @@ class FASTer(BaseFTL):
         ppn = self._newest_ppn(lpn)
         if ppn is None:
             return None
-        result = yield ReadPage(ppn=ppn)
+        result, __ = yield from read_page_with_retry(
+            ppn, stats=self.stats, counter=self._tm_read_retries
+        )
         return result.data
 
     def write(self, lpn: int, data=None):
@@ -250,11 +252,16 @@ class FASTer(BaseFTL):
                 if src is None:
                     continue
                 dst = self.geometry.ppn_of(pbn, offset)
-                yield from relocate_page(self.geometry, src, dst, self.stats,
-                                         oob={"lpn": lpn},
-                                         counter=self._tm_relocations)
+                ok = yield from relocate_page(self.geometry, src, dst,
+                                              self.stats, oob={"lpn": lpn},
+                                              counter=self._tm_relocations)
                 if from_log:
+                    # Consume the entry even when unreadable: leaving it
+                    # would wedge the log reclaim on a dead page forever.
                     consumed.append((lpn, src))
+                if not ok:
+                    self._tm_relocation_skips.inc()
+                    continue  # page lost to media; recorded, not merged
                 written.add(offset)
         else:
             consumed = []
@@ -380,7 +387,18 @@ class FASTer(BaseFTL):
             self.stats.gc_relocations += 1
             self._tm_relocations.inc()
             self.stats.gc_reads += 1
-            result = yield ReadPage(ppn=src)
+            try:
+                result, __ = yield from read_page_with_retry(
+                    src, stats=self.stats, counter=self._tm_read_retries
+                )
+            except UncorrectableError:
+                # Unreadable after retries: drop the entry (its block must
+                # still be reclaimable) and record the loss.
+                self.stats.relocation_skips += 1
+                self._tm_relocation_skips.inc()
+                if self._log_map.get(lpn) == src:
+                    self._consume_log_entry(lpn)
+                continue
             if self._log_map.get(lpn) != src:
                 continue  # a fresher host version landed mid-read
             dst = yield from self._log_slot(for_migration=True)
@@ -444,11 +462,16 @@ class FASTer(BaseFTL):
             if src is None:
                 continue
             dst = self.geometry.ppn_of(new_pbn, offset)
-            yield from relocate_page(self.geometry, src, dst, self.stats,
-                                     oob={"lpn": lpn},
-                                     counter=self._tm_relocations)
+            ok = yield from relocate_page(self.geometry, src, dst, self.stats,
+                                          oob={"lpn": lpn},
+                                          counter=self._tm_relocations)
             if from_log:
+                # Consume unreadable entries too, or the reclaim that
+                # triggered this merge can never retire its victim.
                 consumed.append((lpn, src))
+            if not ok:
+                self._tm_relocation_skips.inc()
+                continue  # page lost to media; recorded, not merged
             written.add(offset)
         # Install the new block *first*, then retire the consumed log
         # entries — removing an entry while block_map still points at the
@@ -500,11 +523,21 @@ class FASTer(BaseFTL):
         return self._free.popleft()
 
     def _erase_block(self, pbn: int):
-        try:
-            yield EraseBlock(pbn=pbn)
-        except BlockWornOut:
-            self.stats.grown_bad_blocks += 1
-            return
+        waits = 0
+        while True:
+            try:
+                yield EraseBlock(pbn=pbn)
+                break
+            except DieOutageError:
+                waits += 1
+                if waits > 150:
+                    raise
+                yield Pause(
+                    duration_us=min(50.0 * (2 ** min(waits, 5)), 2000.0)
+                )
+            except BlockWornOut:
+                self.stats.grown_bad_blocks += 1
+                return
         self.stats.gc_erases += 1
         self._free.append(pbn)
 

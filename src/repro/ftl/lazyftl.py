@@ -30,10 +30,9 @@ import random
 from collections import OrderedDict
 from typing import Iterable, List, Optional, Tuple
 
-from ..flash.commands import ReadPage
 from ..flash.geometry import Geometry
 from ..telemetry import MetricsRegistry
-from .base import UNMAPPED, BaseFTL, MappingState
+from .base import UNMAPPED, BaseFTL, MappingState, read_page_with_retry
 from .pagespace import PageMappedSpace
 
 __all__ = ["LazyFTL"]
@@ -139,12 +138,17 @@ class LazyFTL(BaseFTL):
             tvpn = self._tvpn_of(lpn)
             if self._tp_exists(tvpn):
                 self.stats.map_reads += 1
-                yield ReadPage(ppn=self.mapping.lookup(self._tp_lpn(tvpn)))
+                yield from read_page_with_retry(
+                    self.mapping.lookup(self._tp_lpn(tvpn)),
+                    stats=self.stats, counter=self._tm_read_retries,
+                )
             self._cache_clean(lpn)
         ppn = self.mapping.lookup(lpn)
         if ppn == UNMAPPED:
             return None
-        result = yield ReadPage(ppn=ppn)
+        result, __ = yield from read_page_with_retry(
+            ppn, stats=self.stats, counter=self._tm_read_retries
+        )
         return result.data
 
     def write(self, lpn: int, data=None):
@@ -195,8 +199,10 @@ class LazyFTL(BaseFTL):
             for tvpn, lpns in sorted(by_tvpn.items()):
                 if self._tp_exists(tvpn):
                     self.stats.map_reads += 1
-                    yield ReadPage(
-                        ppn=self.mapping.lookup(self._tp_lpn(tvpn)))
+                    yield from read_page_with_retry(
+                        self.mapping.lookup(self._tp_lpn(tvpn)),
+                        stats=self.stats, counter=self._tm_read_retries,
+                    )
                 self.stats.map_programs += 1
                 yield from self.space.write(self._tp_lpn(tvpn),
                                             data=("TP", tvpn))

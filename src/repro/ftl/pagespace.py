@@ -19,11 +19,24 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..flash.commands import EraseBlock, Pause, ProgramPage, ReadPage
-from ..flash.errors import BlockWornOut
+from ..flash.commands import EraseBlock, Pause, ProgramPage
+from ..flash.errors import (
+    BlockWornOut,
+    DieOutageError,
+    FlashError,
+    ProgramError,
+    UncorrectableError,
+)
 from ..flash.geometry import Geometry
 from ..telemetry import EventTrace, MetricsRegistry
-from .base import UNMAPPED, BlockPool, FTLStats, MappingState, relocate_page
+from .base import (
+    UNMAPPED,
+    BlockPool,
+    FTLStats,
+    MappingState,
+    read_page_with_retry,
+    relocate_page,
+)
 
 __all__ = ["PageMappedSpace", "PlaneId"]
 
@@ -74,6 +87,18 @@ class PageMappedSpace:
         Static wear-leveling trigger: when the erase-count spread inside a
         plane exceeds this, the coldest occupied block is refreshed.
         ``None`` disables.
+    read_retry_limit, outage_retry_limit
+        Bounded recovery budgets for host reads and relocations: extra
+        read attempts after an ECC failure, and Pause-retry rounds while a
+        die is in an outage window.
+    scrub_on_retry
+        When True, a host read that only succeeded after retries scrubs
+        the page — relocates it to a fresh block and marks the old block
+        suspect so GC prioritises it.
+    metric_prefix
+        Namespace for the recovery telemetry counters (``read_retries``,
+        ``scrubs``, ``program_remaps``, ``gc.relocation_skips``): ``"ftl"``
+        for on-device FTLs, ``"noftl"`` for manager-owned region spaces.
     """
 
     def __init__(
@@ -93,6 +118,10 @@ class PageMappedSpace:
         rng: Optional[random.Random] = None,
         telemetry: Optional[MetricsRegistry] = None,
         trace: Optional[EventTrace] = None,
+        read_retry_limit: int = 4,
+        outage_retry_limit: int = 150,
+        scrub_on_retry: bool = True,
+        metric_prefix: str = "ftl",
     ):
         if gc_policy not in ("greedy", "cost_benefit"):
             raise ValueError(f"unknown gc_policy: {gc_policy!r}")
@@ -130,6 +159,18 @@ class PageMappedSpace:
         # erase-count shadow (the host cannot see array internals; NoFTL
         # tracks wear itself, which is exactly what the paper proposes)
         self.erase_counts: Dict[int, int] = {}
+        if read_retry_limit < 0 or outage_retry_limit < 0:
+            raise ValueError("retry limits must be >= 0")
+        self.read_retry_limit = read_retry_limit
+        self.outage_retry_limit = outage_retry_limit
+        self.scrub_on_retry = scrub_on_retry
+        self.metric_prefix = metric_prefix
+        #: Blocks that produced a retried-but-recovered read; GC victim
+        #: selection prioritises them so suspect media is refreshed soon.
+        self.suspect_blocks: set = set()
+        #: Blocks quarantined after a program failure or an unreadable GC
+        #: page — never erased, never reused.
+        self.quarantined_blocks: set = set()
 
         # Telemetry: GC victim quality, collection/wear-level spans, and
         # back-off waits behind an in-flight collection.
@@ -145,6 +186,19 @@ class PageMappedSpace:
         self._tm_wl_us = self.telemetry.histogram("ftl.wl.migrate_us", layer="ftl")
         self._tm_relocations = self.telemetry.counter(
             "ftl.relocations", layer="ftl"
+        )
+        prefix = metric_prefix
+        self._tm_read_retries = self.telemetry.counter(
+            f"{prefix}.read_retries", layer=prefix
+        )
+        self._tm_scrubs = self.telemetry.counter(
+            f"{prefix}.scrubs", layer=prefix
+        )
+        self._tm_program_remaps = self.telemetry.counter(
+            f"{prefix}.program_remaps", layer=prefix
+        )
+        self._tm_relocation_skips = self.telemetry.counter(
+            f"{prefix}.gc.relocation_skips", layer=prefix
         )
 
     # -- placement -----------------------------------------------------------------
@@ -171,24 +225,164 @@ class PageMappedSpace:
 
     def read(self, lpn: int):
         """Generator: read the current version of ``lpn`` (None if never
-        written)."""
+        written).
+
+        ECC failures are retried with backoff (bounded by
+        ``read_retry_limit``); a read that recovers only after retries
+        scrubs the page to fresh media.  A persistent media defect
+        exhausts the budget and the :class:`UncorrectableError`
+        propagates to the host.
+        """
         ppn = self.mapping.lookup(lpn)
         if ppn == UNMAPPED:
             return None
-        result = yield ReadPage(ppn=ppn)
+        result, retried = yield from read_page_with_retry(
+            ppn, stats=self.stats, counter=self._tm_read_retries,
+            retries=self.read_retry_limit,
+            outage_retries=self.outage_retry_limit,
+        )
+        if retried and self.scrub_on_retry:
+            yield from self._scrub_page(lpn, ppn, result.data)
         return result.data
 
     def write(self, lpn: int, data=None, stream: str = _HOT):
-        """Generator: write ``lpn`` out-of-place, GC-ing first if needed."""
+        """Generator: write ``lpn`` out-of-place, GC-ing first if needed.
+
+        A PAGE PROGRAM failure consumes the target page; the write is
+        remapped to a freshly allocated page and the failed block is
+        retired (grown bad, valid pages scrubbed out).  Die outages are
+        waited out — the rejected command consumed nothing.
+        """
         plane_id = self.plane_of_lpn(lpn)
         yield from self.ensure_space(plane_id)
-        ppn = self._allocate(plane_id, stream if self.separate_streams else _HOT)
+        stream = stream if self.separate_streams else _HOT
+        ppn = self._allocate(plane_id, stream)
         # OOB carries the logical page number and a monotonically increasing
         # sequence number, so a cold scan can rebuild the mapping (recovery).
         oob = {"lpn": lpn, "seq": self.mapping.clock + 1}
-        yield ProgramPage(ppn=ppn, data=data, oob=oob)
+        ppn = yield from self._program_with_remap(
+            plane_id, stream, ppn, data, oob
+        )
         self.mapping.bind(lpn, ppn)
         return ppn
+
+    def _program_with_remap(self, plane_id: PlaneId, stream: str, ppn: int,
+                            data, oob, max_remaps: int = 8):
+        """Generator: program ``ppn``, remapping to fresh blocks on
+        :class:`ProgramError`.  Returns the ppn that actually holds the
+        data."""
+        remaps = 0
+        waits = 0
+        while True:
+            try:
+                yield ProgramPage(ppn=ppn, data=data, oob=oob)
+                return ppn
+            except DieOutageError:
+                # Rejected before the slot was consumed: retry same ppn.
+                waits += 1
+                if waits > self.outage_retry_limit:
+                    raise
+                yield Pause(
+                    duration_us=min(50.0 * (2 ** min(waits, 5)), 2000.0)
+                )
+            except ProgramError:
+                remaps += 1
+                self.stats.program_remaps += 1
+                self._tm_program_remaps.inc()
+                if remaps > max_remaps:
+                    raise
+                failed_pbn = self.geometry.block_of_ppn(ppn)
+                self._quarantine_block(plane_id, failed_pbn)
+                yield from self._evacuate_block(plane_id, stream, failed_pbn)
+                ppn = self._allocate(plane_id, stream)
+
+    def _quarantine_block(self, plane_id: PlaneId, pbn: int) -> None:
+        """Retire a block in place after a failure (no flash I/O).
+
+        Pulled from allocation — active write points abandoned, pool and
+        occupied membership dropped — and reported grown-bad exactly once.
+        Quarantined blocks are never erased: their programmed pages stay
+        readable until the mapping moves or drops them.
+        """
+        plane = self._planes[plane_id]
+        for name, active in plane.active.items():
+            if active is not None and active[0] == pbn:
+                plane.active[name] = None
+        plane.occupied.discard(pbn)
+        plane.pool.remove(pbn)
+        self.suspect_blocks.discard(pbn)
+        if pbn not in self.quarantined_blocks:
+            self.quarantined_blocks.add(pbn)
+            self.stats.grown_bad_blocks += 1
+            if self.on_grown_bad is not None:
+                self.on_grown_bad(pbn)
+
+    def _evacuate_block(self, plane_id: PlaneId, stream: str, pbn: int,
+                        max_failures: int = 4):
+        """Generator: best-effort scrub of a quarantined block's valid
+        pages onto trustworthy media.  Pages that cannot move (pool dry,
+        repeated program failures) stay in place — they remain readable,
+        just pinned to suspect media."""
+        failures = 0
+        for offset, lpn in self.mapping.valid_lpns_of_block(pbn):
+            src = self.geometry.ppn_of(pbn, offset)
+            if self.mapping.lookup(lpn) != src:
+                continue
+            while True:
+                try:
+                    dst = self._allocate(plane_id, stream)
+                except RuntimeError:
+                    return  # no free slots; leave remaining pages pinned
+                try:
+                    moved = yield from relocate_page(
+                        self.geometry, src, dst, self.stats,
+                        oob={"lpn": lpn, "seq": self.mapping.clock + 1},
+                        counter=self._tm_relocations,
+                        retries=self.read_retry_limit,
+                        outage_retries=self.outage_retry_limit,
+                    )
+                except ProgramError:
+                    # The evacuation destination failed too; quarantine it
+                    # and try another block, boundedly.
+                    failures += 1
+                    self.stats.program_remaps += 1
+                    self._tm_program_remaps.inc()
+                    self._quarantine_block(
+                        plane_id, self.geometry.block_of_ppn(dst)
+                    )
+                    if failures > max_failures:
+                        return
+                    continue
+                if not moved:
+                    self._tm_relocation_skips.inc()
+                elif self.mapping.lookup(lpn) == src:
+                    self.mapping.bind(lpn, dst)
+                break
+
+    def _scrub_page(self, lpn: int, src_ppn: int, data):
+        """Generator: best-effort relocation of a page whose read needed
+        retries.  The source block is marked suspect either way; GC will
+        refresh it soon."""
+        pbn = self.geometry.block_of_ppn(src_ppn)
+        if pbn not in self.quarantined_blocks:
+            self.suspect_blocks.add(pbn)
+        plane_id = self.plane_of_lpn(lpn)
+        try:
+            dst = self._allocate(
+                plane_id, _COLD if self.separate_streams else _HOT
+            )
+        except RuntimeError:
+            return  # no free slot right now; the suspect mark stands
+        oob = {"lpn": lpn, "seq": self.mapping.clock + 1}
+        try:
+            yield ProgramPage(ppn=dst, data=data, oob=oob)
+        except FlashError:
+            return  # scrub is advisory; the original page still reads
+        # Reads are lock-free: only rebind if the mapping is unchanged.
+        if self.mapping.lookup(lpn) == src_ppn:
+            self.mapping.bind(lpn, dst)
+            self.stats.scrubs += 1
+            self._tm_scrubs.inc()
 
     def trim(self, lpn: int) -> None:
         """Host-side only — deallocating a page costs no flash I/O."""
@@ -268,6 +462,9 @@ class PageMappedSpace:
                 score = -((1.0 - utilisation) / (2.0 * utilisation + 1e-9)) * (
                     age + 1
                 )
+            if pbn in self.suspect_blocks:
+                # Refresh suspect media first, whatever the policy says.
+                score -= 1e12
             if best_score is None or score < best_score:
                 best, best_score = pbn, score
         return best
@@ -288,48 +485,115 @@ class PageMappedSpace:
             yield from self.rebind_hook(moved)
 
     def _collect_body(self, plane: _Plane, victim: int, moved: list):
+        skipped = 0
         try:
             for offset, lpn in self.mapping.valid_lpns_of_block(victim):
                 src = self.geometry.ppn_of(victim, offset)
                 if self.mapping.lookup(lpn) != src:
                     continue  # overwritten since selection
-                dst = self._allocate(
-                    plane.plane_id,
-                    _COLD if self.separate_streams else _HOT,
-                )
-                # OOB travels with the page (copyback preserves it), keeping
-                # the recovery sequence number of the original write.
-                if self.use_copyback:
-                    yield from relocate_page(
-                        self.geometry, src, dst, self.stats,
-                        counter=self._tm_relocations,
+                dst_failures = 0
+                while True:
+                    dst = self._allocate(
+                        plane.plane_id,
+                        _COLD if self.separate_streams else _HOT,
                     )
-                else:
-                    self.stats.gc_relocations += 1
-                    self._tm_relocations.inc()
-                    self.stats.gc_reads += 1
-                    self.stats.gc_programs += 1
-                    result = yield ReadPage(ppn=src)
-                    yield ProgramPage(ppn=dst, data=result.data,
-                                      oob=result.oob)
+                    # OOB travels with the page (copyback preserves it),
+                    # keeping the recovery sequence number of the original
+                    # write.
+                    try:
+                        if self.use_copyback:
+                            ok = yield from relocate_page(
+                                self.geometry, src, dst, self.stats,
+                                counter=self._tm_relocations,
+                                retries=self.read_retry_limit,
+                                outage_retries=self.outage_retry_limit,
+                            )
+                        else:
+                            ok = True
+                            try:
+                                result, __ = yield from read_page_with_retry(
+                                    src, stats=self.stats,
+                                    counter=self._tm_read_retries,
+                                    retries=self.read_retry_limit,
+                                    outage_retries=self.outage_retry_limit,
+                                )
+                            except UncorrectableError:
+                                self.stats.relocation_skips += 1
+                                ok = False
+                            if ok:
+                                yield ProgramPage(ppn=dst, data=result.data,
+                                                  oob=result.oob)
+                                self.stats.gc_relocations += 1
+                                self._tm_relocations.inc()
+                                self.stats.gc_reads += 1
+                                self.stats.gc_programs += 1
+                    except ProgramError:
+                        # The relocation destination failed to program; the
+                        # slot is consumed and its block is untrustworthy.
+                        # Quarantine it and redo the copy elsewhere.
+                        dst_failures += 1
+                        self.stats.program_remaps += 1
+                        self._tm_program_remaps.inc()
+                        self._quarantine_block(
+                            plane.plane_id, self.geometry.block_of_ppn(dst)
+                        )
+                        if dst_failures > 4:
+                            raise
+                        continue
+                    break
+                if not ok:
+                    # Unreadable even after retries: record and keep the
+                    # mapping pointing at the victim (the host sees the
+                    # media error on its next read).  NAND allows skipping
+                    # the allocated dst page, so the hole is legal.
+                    skipped += 1
+                    self._tm_relocation_skips.inc()
+                    continue
                 if self.mapping.lookup(lpn) == src:
                     self.mapping.bind(lpn, dst)
                     moved.append((lpn, dst))
                 # else: host overwrote mid-copy; the copy is stillborn and
                 # stays invalid in the new block.
-            yield from self._erase_into_pool(plane, victim)
+            if skipped:
+                # An erase would destroy the unreadable-but-mapped pages'
+                # last trace; quarantine the victim instead and report it
+                # grown bad so spare accounting sees the capacity loss.
+                plane.occupied.discard(victim)
+                self.suspect_blocks.discard(victim)
+                self.quarantined_blocks.add(victim)
+                self.stats.grown_bad_blocks += 1
+                if self.on_grown_bad is not None:
+                    self.on_grown_bad(victim)
+            else:
+                yield from self._erase_into_pool(plane, victim)
         finally:
             plane.collecting.discard(victim)
 
     def _erase_into_pool(self, plane: _Plane, pbn: int):
         plane.occupied.discard(pbn)
-        try:
-            yield EraseBlock(pbn=pbn)
-        except BlockWornOut:
-            self.stats.grown_bad_blocks += 1
-            if self.on_grown_bad is not None:
-                self.on_grown_bad(pbn)
-            return
+        waits = 0
+        while True:
+            try:
+                yield EraseBlock(pbn=pbn)
+                break
+            except DieOutageError:
+                # Nothing was erased; wait out the window and retry.
+                waits += 1
+                if waits > self.outage_retry_limit:
+                    raise
+                yield Pause(
+                    duration_us=min(50.0 * (2 ** min(waits, 5)), 2000.0)
+                )
+            except BlockWornOut:
+                # Wear-out or injected erase failure: the array marked the
+                # block bad; retire it from this space.
+                self.suspect_blocks.discard(pbn)
+                self.quarantined_blocks.add(pbn)
+                self.stats.grown_bad_blocks += 1
+                if self.on_grown_bad is not None:
+                    self.on_grown_bad(pbn)
+                return
+        self.suspect_blocks.discard(pbn)
         self.stats.gc_erases += 1
         self.erase_counts[pbn] = self.erase_counts.get(pbn, 0) + 1
         plane.pool.give(pbn)
@@ -399,4 +663,6 @@ class PageMappedSpace:
                 len(plane.occupied) for plane in self._planes.values()
             ),
             "valid_pages": self.mapping.total_valid(),
+            "suspect_blocks": len(self.suspect_blocks),
+            "quarantined_blocks": len(self.quarantined_blocks),
         }

@@ -5,9 +5,17 @@ import random
 
 import pytest
 
-from repro.core import NoFTLConfig, NoFTLStorageManager, SyncNoFTLStorage
+from repro.core import (
+    DegradedModeError,
+    NoFTLConfig,
+    NoFTLStorageManager,
+    SyncNoFTLStorage,
+)
+from repro.core.badblock import BadBlockManager
 from repro.db import Database, RAMStorageAdapter
 from repro.flash import (
+    FaultPlan,
+    FaultSpec,
     FlashArray,
     Geometry,
     SLC_TIMING,
@@ -143,6 +151,242 @@ class TestFASTerUnderBadBlocks:
             oracle[lpn] = (lpn, step)
         for lpn, expected in oracle.items():
             assert executor.run(ftl.read(lpn)) == expected
+
+
+def _sync_noftl(plan=None, op_ratio=0.3, seed=1, **config_kwargs):
+    array = FlashArray(GEO, SLC_TIMING, rng=random.Random(seed),
+                       fault_plan=plan)
+    executor = SyncExecutor(SyncFlashDevice(array))
+    manager = NoFTLStorageManager(
+        GEO, NoFTLConfig(op_ratio=op_ratio, **config_kwargs),
+        factory_bad_blocks=array.factory_bad_blocks(),
+    )
+    return array, manager, SyncNoFTLStorage(manager, executor)
+
+
+class TestFaultPlanDeterminism:
+    def _drive(self):
+        plan = FaultPlan(seed=42)
+        plan.add(FaultSpec(kind="transient_read", rate=0.3))
+        plan.add(FaultSpec(kind="program_fail", rate=0.05, count=3))
+        array, manager, storage = _sync_noftl(plan=plan)
+        rng = random.Random(9)
+        span = manager.logical_pages // 3
+        for step in range(span * 4):
+            lpn = rng.randrange(span)
+            storage.write(lpn, data=(lpn, step))
+            if step % 3 == 0:
+                try:
+                    storage.read(rng.randrange(span))
+                except UncorrectableError:
+                    pass  # a read that lost all its retry rolls
+        return array.fault_injector
+
+    def test_same_seed_same_command_stream_same_faults(self):
+        first, second = self._drive(), self._drive()
+        assert first.events, "the adversary never fired"
+        assert first.events == second.events
+        assert first.injected_counts() == second.injected_counts()
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan([FaultSpec(kind="transient_read", rate=0.0)],
+                         seed=1)
+        array, manager, storage = _sync_noftl(plan=plan)
+        for lpn in range(8):
+            storage.write(lpn, data=lpn)
+            assert storage.read(lpn) == lpn
+        assert array.fault_injector.events == []
+
+
+class TestTransientReadRecovery:
+    def test_retry_recovers_then_scrubs(self):
+        # Deterministic spec with a firing budget of 2: the first two read
+        # attempts fail, the third succeeds — the classic "ECC recovered
+        # on retry" event that must trigger a scrub relocation.
+        plan = FaultPlan([FaultSpec(kind="transient_read", count=2)],
+                         seed=0)
+        array, manager, storage = _sync_noftl(plan=plan)
+        storage.write(5, data=b"fragile")
+        before = manager.mapping.lookup(5)
+        assert storage.read(5) == b"fragile"
+        assert manager.stats.read_retries == 2
+        assert manager.stats.scrubs == 1
+        # The scrub moved the page off the suspect block.
+        assert manager.mapping.lookup(5) != before
+        assert storage.read(5) == b"fragile"  # budget spent: clean read
+
+    def test_persistent_fault_exhausts_retries(self):
+        plan = FaultPlan([FaultSpec(kind="persistent_read")], seed=0)
+        array, manager, storage = _sync_noftl(plan=plan)
+        storage.write(3, data=b"doomed")
+        with pytest.raises(UncorrectableError):
+            storage.read(3)
+        assert manager.stats.read_retries >= manager.config.read_retry_limit
+
+
+class TestProgramFailureRemap:
+    def test_failed_program_remaps_and_retires_block(self):
+        plan = FaultPlan([FaultSpec(kind="program_fail", count=1)], seed=0)
+        array, manager, storage = _sync_noftl(plan=plan)
+        storage.write(0, data=b"precious")
+        assert manager.stats.program_remaps == 1
+        assert manager.stats.grown_bad_blocks >= 1
+        assert manager.health()["grown_bad"] >= 1
+        # The write was acknowledged => it must read back despite the
+        # failed first program attempt.
+        assert storage.read(0) == b"precious"
+        assert array.fault_injector.injected_counts()["program_fail"] == 1
+
+
+class TestEraseFailure:
+    def test_failed_erase_grows_bad_block(self):
+        plan = FaultPlan([FaultSpec(kind="erase_fail", count=1)], seed=0)
+        array, manager, storage = _sync_noftl(plan=plan)
+        rng = random.Random(2)
+        span = manager.logical_pages // 3
+        oracle = {}
+        for step in range(span * 6):
+            lpn = rng.randrange(span)
+            storage.write(lpn, data=(lpn, step))
+            oracle[lpn] = (lpn, step)
+        assert array.fault_injector.injected_counts().get("erase_fail") == 1
+        assert manager.stats.grown_bad_blocks >= 1
+        for lpn, expected in oracle.items():
+            assert storage.read(lpn) == expected
+
+
+class TestDieOutage:
+    def test_outage_window_is_survived(self):
+        plan = FaultPlan(
+            [FaultSpec(kind="die_outage", die=0, window=(20, 80))], seed=0
+        )
+        array, manager, storage = _sync_noftl(plan=plan)
+        rng = random.Random(6)
+        span = manager.logical_pages // 2
+        oracle = {}
+        for step in range(span * 3):
+            lpn = rng.randrange(span)
+            storage.write(lpn, data=(lpn, step))
+            oracle[lpn] = (lpn, step)
+        assert array.fault_injector.injected_counts().get("die_outage", 0) > 0
+        for lpn, expected in oracle.items():
+            assert storage.read(lpn) == expected
+
+
+class TestGCRelocationSkip:
+    def test_unreadable_victim_page_is_skipped_not_fatal(self):
+        array, manager, storage = _sync_noftl()
+        storage.write(0, data=b"landmine")
+        victim_ppn = manager.mapping.lookup(0)
+        victim_pbn = GEO.block_of_ppn(victim_ppn)
+        rng = random.Random(8)
+        span = manager.logical_pages // 3
+        for step in range(span):  # fill out the landmine's block
+            storage.write(1 + rng.randrange(span - 1), data=step)
+        # Grown media defect on exactly that page: every read fails.  Mark
+        # the block suspect so the GC refresh priority queues it next.
+        array.fault_injector.add_spec(
+            FaultSpec(kind="persistent_read", ppn=victim_ppn)
+        )
+        manager._space_of(0).suspect_blocks.add(victim_pbn)
+        for step in range(span * 30):
+            storage.write(1 + rng.randrange(span - 1), data=step)
+            if manager.stats.relocation_skips > 0:
+                break
+        # GC met the unreadable page, recorded it and kept going.
+        assert manager.stats.relocation_skips >= 1
+        assert manager.stats.grown_bad_blocks >= 1  # victim quarantined
+        with pytest.raises(UncorrectableError):
+            storage.read(0)  # the media error reaches the host, once asked
+        storage.write(0, data=b"replaced")  # and the lpn is still usable
+        assert storage.read(0) == b"replaced"
+
+
+class TestChecksumDetection:
+    def test_silent_corruption_caught_by_page_crc(self):
+        from repro.flash import ProgramPage, ReadPage
+
+        array = FlashArray(GEO, SLC_TIMING)
+        executor = SyncExecutor(SyncFlashDevice(array))
+
+        def program():
+            yield ProgramPage(ppn=0, data=b"payload")
+
+        def read():
+            result = yield ReadPage(ppn=0)
+            return result.data
+
+        executor.run(program())
+        assert executor.run(read()) == b"payload"
+        array.corrupt_page(0)
+        with pytest.raises(UncorrectableError):
+            executor.run(read())
+
+
+class TestDegradedMode:
+    def test_watermark_arithmetic(self):
+        mgr = BadBlockManager(GEO, [], spare_blocks=4, watermark=0.5)
+        mgr.report_grown(10)
+        assert not mgr.degraded
+        mgr.check_writable()  # no raise below the watermark
+        mgr.report_grown(11)
+        assert mgr.degraded
+        with pytest.raises(DegradedModeError):
+            mgr.check_writable()
+        health = mgr.health()
+        assert health["degraded"] and health["grown_bad"] == 2
+
+    def test_factory_bad_blocks_do_not_count(self):
+        # Factory bads were known at provisioning; only in-service growth
+        # erodes the spare budget.
+        mgr = BadBlockManager(GEO, [1, 2, 3], spare_blocks=4, watermark=0.5)
+        assert not mgr.degraded
+        mgr.check_writable()
+
+    def test_noftl_goes_read_only_when_spares_run_out(self):
+        plan = FaultPlan([FaultSpec(kind="program_fail", count=1)], seed=0)
+        array, manager, storage = _sync_noftl(plan=plan, spare_watermark=0.05)
+        storage.write(0, data=b"ok")  # remaps, grows one bad block
+        assert manager.bad_blocks.degraded
+        with pytest.raises(DegradedModeError):
+            storage.write(1, data=b"refused")
+        assert storage.read(0) == b"ok"  # reads keep working
+
+
+class TestFASTerUnderTransientFaults:
+    def test_faster_retries_through_read_noise(self):
+        plan = FaultPlan.transient_reads(0.05, seed=3)
+        array = FlashArray(GEO, SLC_TIMING, rng=random.Random(13),
+                           fault_plan=plan)
+        executor = SyncExecutor(SyncFlashDevice(array))
+        ftl = FASTer(GEO, op_ratio=0.3, log_fraction=0.12,
+                     bad_blocks=array.factory_bad_blocks())
+        rng = random.Random(4)
+        span = ftl.logical_pages // 3
+        oracle = {}
+        for step in range(span * 4):
+            lpn = rng.randrange(span)
+            executor.run(ftl.write(lpn, data=(lpn, step)))
+            oracle[lpn] = (lpn, step)
+        for lpn, expected in oracle.items():
+            assert executor.run(ftl.read(lpn)) == expected
+        assert ftl.stats.read_retries > 0
+
+
+class TestChaosFullStack:
+    def test_chaos_run_loses_no_committed_data(self):
+        from repro.bench.chaos import run_chaos
+
+        report = run_chaos(workload_name="tpcb", duration_us=200_000.0,
+                           seed=7)
+        assert report.ok, (report.pages_lost, report.pages_corrupted)
+        assert report.injected.get("program_fail", 0) >= 10
+        assert report.injected.get("die_outage", 0) >= 1
+        assert report.injected.get("transient_read", 0) >= 1
+        assert report.read_retries > 0
+        assert report.scrubs > 0
+        assert report.program_remaps > 0
+        assert not report.degraded
 
 
 class TestTPCCConsistency:
