@@ -60,18 +60,18 @@ class ChecksumOracle:
         self.checksums: Dict[int, int] = {}
         self.writes_acked = 0
 
-    def read(self, page_id: int):
-        data = yield from self.adapter.read(page_id)
+    def read(self, page_id: int, ctx=None):
+        data = yield from self.adapter.read(page_id, ctx=ctx)
         return data
 
-    def write(self, page_id: int, data, hint: str = "hot"):
-        yield from self.adapter.write(page_id, data, hint)
+    def write(self, page_id: int, data, hint: str = "hot", ctx=None):
+        yield from self.adapter.write(page_id, data, hint, ctx=ctx)
         # Only reached when the write was acknowledged (no exception).
         self.checksums[page_id] = page_checksum(data)
         self.writes_acked += 1
 
-    def trim(self, page_id: int):
-        yield from self.adapter.trim(page_id)
+    def trim(self, page_id: int, ctx=None):
+        yield from self.adapter.trim(page_id, ctx=ctx)
         self.checksums.pop(page_id, None)
 
     def region_of_page(self, page_id: int) -> int:

@@ -1,0 +1,315 @@
+"""Causal-tracing dashboard: where do the tail latencies come from?
+
+``python -m repro.bench.observe`` runs a fixed-seed TPC-B rig per
+architecture (``--arch faster --arch noftl``), records every host
+operation and flash command to a JSONL trace, then *loads the trace
+back* and renders the attribution report from the file alone — the same
+code path as ``--from-trace``, so any number in the dashboard is
+reproducible later without re-running the rig.
+
+The report per architecture:
+
+* **origin mix** — flash commands by root cause (txn / db-writer / gc /
+  merge / wear-level / ...), with a zero-missing-origin check;
+* **blame decomposition** — p99 (and p99.9) write and commit latency
+  split into media, queue-behind-GC, queue-other, inline GC, retry, WAL
+  and residual time (:func:`repro.telemetry.blame_breakdown`);
+* **windowed series** — throughput, per-die busy fraction and
+  maintenance activity over time (die-utilization skew under global vs
+  die-wise writer assignment is visible here);
+* **span rollup** — flamegraph-style inclusive time by span path
+  (``log.reclaim;merge.full`` etc.).
+
+``--check`` turns the paper's qualitative claim into an exit code: the
+black-box FTL's p99 write tail must carry a strictly larger GC-blamed
+component than NoFTL's, and every flash command must carry an origin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+from typing import Dict, List, Optional
+
+from ..core import NoFTLConfig
+from ..telemetry import (
+    EventTrace,
+    blame_breakdown,
+    load_jsonl,
+    origin_mix,
+    span_rollup,
+    verify_origins,
+    windowed_series,
+)
+from ..workloads import TPCB, run_workload
+from .reporting import emit, export_metrics, render_table
+from .rigs import (
+    attach_database,
+    build_blockdev_rig,
+    build_noftl_rig,
+    measure_workload_footprint,
+    sized_geometry,
+)
+
+__all__ = ["run_arch", "analyze_trace", "render_report", "main"]
+
+ARCHES = ("noftl", "faster", "pagemap", "dftl")
+
+
+def _make_workload():
+    # Same scaled-down TPC-B rendition as the Figure 4 bench.
+    return TPCB(sf=16, accounts_per_branch=400)
+
+
+def run_arch(
+    arch: str,
+    trace_path: str,
+    seed: int = 23,
+    duration_us: float = 1_500_000.0,
+    dies: int = 8,
+    terminals: int = 16,
+    policy: str = "region",
+) -> dict:
+    """Run one architecture's TPC-B rig, streaming the trace to JSONL.
+
+    Returns run-level facts (tps, commits, dies) — the analysis itself
+    is done from the trace file so it stays replayable.
+    """
+    if arch not in ARCHES:
+        raise ValueError(f"unknown arch {arch!r}; pick from {ARCHES}")
+    workload = _make_workload()
+    footprint = measure_workload_footprint(workload)
+    headroom = footprint // 2
+    geometry = sized_geometry(footprint, dies, utilization=0.85,
+                              headroom_pages=headroom, pages_per_block=16)
+    with open(trace_path, "w", encoding="utf-8") as sink:
+        trace = EventTrace(capacity=8192, sink=sink)
+        if arch == "noftl":
+            rig = build_noftl_rig(
+                geometry=geometry,
+                config=NoFTLConfig(num_regions=dies, op_ratio=0.12),
+                seed=seed,
+                trace=trace,
+            )
+            writer_policy = policy
+        else:
+            rig = build_blockdev_rig(arch, geometry=geometry, seed=seed,
+                                     trace=trace)
+            # One opaque region: die-wise assignment is impossible, which
+            # is the point of the black-box comparison.
+            writer_policy = "global"
+        db = attach_database(rig,
+                             buffer_capacity=footprint + headroom,
+                             cpu_us_per_op=1.0,
+                             wal_flush_latency_us=60.0,
+                             foreground_flush=False,
+                             dirty_throttle_fraction=0.10)
+        db.start_writers(dies, policy=writer_policy)
+        stats = run_workload(rig.sim, db, _make_workload(),
+                             duration_us=duration_us,
+                             num_terminals=terminals,
+                             rng=random.Random(seed))
+        # Detach before closing: DES processes parked mid-GC finalize
+        # lazily and would otherwise emit span ends into a closed file.
+        trace.enabled = False
+        trace.sink = None
+    return {
+        "arch": arch,
+        "policy": writer_policy,
+        "seed": seed,
+        "dies": dies,
+        "duration_us": duration_us,
+        "tps": stats.tps,
+        "commits": stats.commits,
+        "trace_path": trace_path,
+        "trace_events": trace.emitted,
+    }
+
+
+def analyze_trace(path: str, window_us: float = 100_000.0) -> dict:
+    """Build the full attribution report from a saved JSONL trace."""
+    events = load_jsonl(path)
+    return {
+        "trace_path": path,
+        "events": len(events),
+        "origins": verify_origins(events),
+        "origin_mix": origin_mix(events),
+        "write_blame": blame_breakdown(events, op="write"),
+        "commit_blame": blame_breakdown(events, op="commit"),
+        "series": windowed_series(events, window_us=window_us),
+        "spans": span_rollup(events)[:12],
+    }
+
+
+def _fmt(value: float) -> str:
+    return f"{value:,.1f}"
+
+
+def render_report(arch: str, run: Optional[dict], report: dict) -> None:
+    """Text dashboard for one architecture."""
+    header = f"== {arch} =="
+    if run is not None:
+        header += (f"  tps={run['tps']:.1f} commits={run['commits']}"
+                   f" policy={run['policy']} dies={run['dies']}")
+    emit(header)
+    origins = report["origins"]
+    emit(f"flash commands: {origins['flash_cmds']}"
+         f" (missing origin: {origins['missing_origin']})")
+    mix = report["origin_mix"]
+    if mix:
+        emit(render_table(
+            "origin mix (flash commands by root cause)",
+            ["origin", "commands"],
+            [[origin, str(count)]
+             for origin, count in sorted(mix.items(),
+                                         key=lambda kv: -kv[1])],
+        ))
+    for name in ("write_blame", "commit_blame"):
+        blame = report[name]
+        if not blame.get("count"):
+            continue
+        emit(f"{blame['op']}: n={blame['count']}"
+             f" p50={_fmt(blame['p50_us'])}us"
+             f" p99={_fmt(blame['p99_us'])}us"
+             f" p99.9={_fmt(blame['p999_us'])}us"
+             f" | tail GC-blamed {_fmt(blame['gc_blamed_us'])}us"
+             f" ({blame['shares']['gc_us'] + blame['shares']['queue_gc_us']:.0%})")
+        emit(render_table(
+            f"p99 {blame['op']} blame (mean us over tail samples)",
+            ["bucket", "all ops", "tail"],
+            [[bucket, _fmt(blame["buckets"][bucket]),
+              _fmt(blame["tail_buckets"][bucket])]
+             for bucket in blame["tail_buckets"]],
+        ))
+    series = report["series"]
+    if series["die_busy"]:
+        rows = []
+        for die, fractions in series["die_busy"].items():
+            mean = sum(fractions) / len(fractions) if fractions else 0.0
+            spark = "".join(
+                " .:-=+*#"[min(7, int(f * 8))] for f in fractions[:48]
+            )
+            rows.append([str(die), f"{mean:.2f}", spark])
+        emit(render_table(
+            f"per-die busy fraction ({series['window_us']:.0f}us windows)",
+            ["die", "mean", "timeline"],
+            rows,
+        ))
+    if report["spans"]:
+        emit(render_table(
+            "span rollup (inclusive time by path)",
+            ["path", "count", "total us", "mean us"],
+            [[s["path"], str(s["count"]), _fmt(s["total_us"]),
+              _fmt(s["mean_us"])] for s in report["spans"]],
+        ))
+
+
+def run_checks(reports: Dict[str, dict], dies: int) -> List[str]:
+    """The acceptance assertions; returns a list of failure strings."""
+    failures = []
+    for arch, report in reports.items():
+        origins = report["origins"]
+        if origins["flash_cmds"] == 0:
+            failures.append(f"{arch}: trace carries no flash commands")
+        if origins["missing_origin"]:
+            failures.append(
+                f"{arch}: {origins['missing_origin']} flash commands"
+                " without an origin label"
+            )
+    if "noftl" in reports:
+        die_series = reports["noftl"]["series"]["die_busy"]
+        if len(die_series) != dies:
+            failures.append(
+                f"noftl: per-die series covers {len(die_series)} dies,"
+                f" expected {dies}"
+            )
+    if "faster" in reports and "noftl" in reports:
+        faster_gc = reports["faster"]["write_blame"].get("gc_blamed_us", 0.0)
+        noftl_gc = reports["noftl"]["write_blame"].get("gc_blamed_us", 0.0)
+        if not faster_gc > noftl_gc:
+            failures.append(
+                "FASTer's p99 write GC-blamed component"
+                f" ({faster_gc:.1f}us) is not strictly larger than"
+                f" NoFTL's ({noftl_gc:.1f}us)"
+            )
+        if faster_gc <= 0:
+            failures.append("FASTer shows no GC-blamed write latency")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.observe",
+        description="Causal tracing and tail-latency attribution dashboard",
+    )
+    parser.add_argument("--arch", action="append", choices=ARCHES,
+                        help="architecture(s) to run (repeatable);"
+                             " default: faster noftl")
+    parser.add_argument("--policy", default="region",
+                        choices=("region", "global"),
+                        help="db-writer assignment for the NoFTL rig")
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--duration-us", type=float, default=1_500_000.0)
+    parser.add_argument("--dies", type=int, default=8)
+    parser.add_argument("--terminals", type=int, default=16)
+    parser.add_argument("--window-us", type=float, default=100_000.0)
+    parser.add_argument("--trace-dir", default="bench-metrics",
+                        help="where run traces are written")
+    parser.add_argument("--from-trace", action="append", default=[],
+                        metavar="ARCH=PATH",
+                        help="skip the rig: analyze a saved JSONL trace")
+    parser.add_argument("--export", action="store_true",
+                        help="write the JSON artifact via REPRO_METRICS_DIR")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless the attribution"
+                             " acceptance assertions hold")
+    args = parser.parse_args(argv)
+
+    runs: Dict[str, Optional[dict]] = {}
+    traces: Dict[str, str] = {}
+    for item in args.from_trace:
+        arch, sep, path = item.partition("=")
+        if not sep:
+            parser.error(f"--from-trace wants ARCH=PATH, got {item!r}")
+        traces[arch] = path
+        runs[arch] = None
+    arches = args.arch or (["faster", "noftl"] if not traces else [])
+    if arches:
+        os.makedirs(args.trace_dir, exist_ok=True)
+    for arch in arches:
+        if arch in traces:
+            continue
+        path = os.path.join(args.trace_dir, f"observe-{arch}.trace.jsonl")
+        emit(f"running {arch} rig (seed={args.seed},"
+             f" {args.duration_us:.0f}us)...")
+        runs[arch] = run_arch(
+            arch, path, seed=args.seed, duration_us=args.duration_us,
+            dies=args.dies, terminals=args.terminals, policy=args.policy,
+        )
+        traces[arch] = path
+
+    reports: Dict[str, dict] = {}
+    for arch, path in traces.items():
+        reports[arch] = analyze_trace(path, window_us=args.window_us)
+        render_report(arch, runs.get(arch), reports[arch])
+
+    failures = run_checks(reports, args.dies) if args.check else []
+    payload = {
+        "runs": {arch: run for arch, run in runs.items() if run},
+        "reports": reports,
+        "checks": {"failures": failures, "passed": not failures},
+    }
+    if args.export:
+        out = export_metrics("observe", payload)
+        emit(f"artifact: {out}")
+    else:
+        emit(json.dumps(payload["checks"]))
+    for failure in failures:
+        emit(f"CHECK FAILED: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,7 @@ from ..flash import (
 )
 from ..ftl import DFTL, FASTer, PageMapFTL
 from ..sim import Simulator
-from ..telemetry import MetricsRegistry
+from ..telemetry import EventTrace, MetricsRegistry
 
 __all__ = [
     "geometry_with_dies",
@@ -149,6 +149,7 @@ class NoFTLRig:
     adapter: NoFTLStorageAdapter
     db: Optional[Database] = None
     telemetry: Optional[MetricsRegistry] = None
+    trace: Optional[EventTrace] = None
 
 
 @dataclass
@@ -161,6 +162,7 @@ class BlockDeviceRig:
     adapter: BlockDeviceAdapter
     db: Optional[Database] = None
     telemetry: Optional[MetricsRegistry] = None
+    trace: Optional[EventTrace] = None
 
 
 def build_noftl_rig(
@@ -169,15 +171,18 @@ def build_noftl_rig(
     config: Optional[NoFTLConfig] = None,
     seed: int = 0,
     telemetry: Optional[MetricsRegistry] = None,
+    trace: Optional[EventTrace] = None,
     fault_plan: Optional[FaultPlan] = None,
     store_data: bool = True,
 ) -> NoFTLRig:
     """Figure 1.c: DBMS on native flash through NoFTL."""
     sim = Simulator()
     telemetry = telemetry or MetricsRegistry()
+    if trace is not None:
+        trace.set_clock(lambda: sim.now)
     array = FlashArray(geometry, timing, rng=random.Random(seed),
-                       telemetry=telemetry, fault_plan=fault_plan,
-                       store_data=store_data)
+                       telemetry=telemetry, trace=trace,
+                       fault_plan=fault_plan, store_data=store_data)
     executor = SimExecutor(SimFlashDevice(sim, array))
     manager = NoFTLStorageManager(
         geometry,
@@ -185,10 +190,12 @@ def build_noftl_rig(
         factory_bad_blocks=array.factory_bad_blocks(),
         rng=random.Random(seed + 1),
         telemetry=telemetry,
+        trace=trace,
     )
     storage = NoFTLStorage(sim, manager, executor)
     return NoFTLRig(sim, geometry, array, manager, storage,
-                    NoFTLStorageAdapter(storage), telemetry=telemetry)
+                    NoFTLStorageAdapter(storage), telemetry=telemetry,
+                    trace=manager.trace)
 
 
 def build_blockdev_rig(
@@ -198,20 +205,24 @@ def build_blockdev_rig(
     ncq_depth: int = 32,
     seed: int = 0,
     telemetry: Optional[MetricsRegistry] = None,
+    trace: Optional[EventTrace] = None,
     **ftl_kwargs,
 ) -> BlockDeviceRig:
     """Figure 1.a/b: DBMS on a black-box SSD with an on-device FTL."""
     sim = Simulator()
     telemetry = telemetry or MetricsRegistry()
+    if trace is not None:
+        trace.set_clock(lambda: sim.now)
     array = FlashArray(geometry, timing, rng=random.Random(seed),
-                       telemetry=telemetry)
+                       telemetry=telemetry, trace=trace)
     executor = SimExecutor(SimFlashDevice(sim, array))
     ftl = make_ftl(ftl_name, geometry, rng=random.Random(seed + 1),
                    bad_blocks=array.factory_bad_blocks(),
-                   telemetry=telemetry, **ftl_kwargs)
+                   telemetry=telemetry, trace=trace, **ftl_kwargs)
     device = BlockDevice(sim, ftl, executor, ncq_depth=ncq_depth)
     return BlockDeviceRig(sim, geometry, array, ftl, device,
-                          BlockDeviceAdapter(device), telemetry=telemetry)
+                          BlockDeviceAdapter(device), telemetry=telemetry,
+                          trace=ftl.trace)
 
 
 def build_sync_noftl(
@@ -325,6 +336,7 @@ def attach_database(
         wal_flush_latency_us=wal_flush_latency_us,
         foreground_flush=foreground_flush,
         dirty_throttle_fraction=dirty_throttle_fraction,
+        trace=getattr(rig, "trace", None),
     )
     rig.db = db
     return db

@@ -12,11 +12,33 @@ replay (Figure 3) and tests.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..flash.executor import SimExecutor, SyncExecutor
 from ..sim import LatencyRecorder, Resource, Simulator
+from ..telemetry import COST_BUCKETS, OpContext
 from .manager import NoFTLStorageManager
 
 __all__ = ["NoFTLStorage", "SyncNoFTLStorage"]
+
+
+def emit_host_op(trace, op: str, ctx: OpContext, before: dict,
+                 elapsed_us: float) -> None:
+    """Emit one ``host.op`` trace event carrying this operation's latency
+    and the *delta* of the context's cost buckets across the operation.
+
+    The delta (snapshot-and-diff around the storage call) rather than the
+    absolute costs keeps attribution correct when one context serves
+    several operations (e.g. a db-writer flushing many pages).
+    """
+    if trace is None or not trace.enabled:
+        return
+    fields = ctx.fields()
+    for bucket in COST_BUCKETS:
+        delta = ctx.costs.get(bucket, 0.0) - before.get(bucket, 0.0)
+        if delta:
+            fields[bucket] = delta
+    trace.emit("host.op", op=op, elapsed_us=elapsed_us, **fields)
 
 
 class NoFTLStorage:
@@ -39,6 +61,7 @@ class NoFTLStorage:
         self.read_latency = LatencyRecorder("noftl-read")
         self.write_latency = LatencyRecorder("noftl-write")
         self.telemetry = manager.telemetry
+        self.trace = manager.trace
         self.telemetry.set_clock(lambda: sim.now)
         self._tm_read_us = self.telemetry.histogram(
             "noftl.read_us", layer="core"
@@ -60,35 +83,57 @@ class NoFTLStorage:
     def region_of_lpn(self, lpn: int) -> int:
         return self.manager.region_of_lpn(lpn)
 
-    def read(self, lpn: int):
+    def read(self, lpn: int, ctx: Optional[OpContext] = None):
+        if ctx is None:
+            ctx = OpContext("host")
         start = self.sim.now
+        before = dict(ctx.costs)
         yield self.sim.timeout(self.interface_overhead_us)
-        data = yield from self.executor.run(self.manager.read(lpn))
+        data = yield from self.executor.run(self.manager.read(lpn), ctx=ctx)
         elapsed = self.sim.now - start
         self.read_latency.record(elapsed)
         self._tm_read_us.observe(elapsed)
+        emit_host_op(self.trace, "read", ctx, before, elapsed)
         return data
 
-    def write(self, lpn: int, data=None, hint: str = "hot"):
+    def write(self, lpn: int, data=None, hint: str = "hot",
+              ctx: Optional[OpContext] = None):
+        if ctx is None:
+            ctx = OpContext("host")
         start = self.sim.now
-        lock = self.region_locks[self.manager.region_of_lpn(lpn)]
+        before = dict(ctx.costs)
+        region = self.manager.region_of_lpn(lpn)
+        lock = self.region_locks[region]
+        # Classify the region-lock wait: if the region's space is running
+        # GC/wear-leveling when we arrive, the wait is maintenance-blamed.
+        behind_maintenance = (
+            self.manager.regions.regions[region].space.maintenance_active
+        )
         yield lock.request()
-        if self.sim.now > start:
+        wait = self.sim.now - start
+        if wait > 0:
             self._tm_lock_waits.inc()
+            ctx.charge(
+                "queue_gc_us" if behind_maintenance else "queue_other_us",
+                wait,
+            )
         try:
             yield self.sim.timeout(self.interface_overhead_us)
-            yield from self.executor.run(self.manager.write(lpn, data, hint))
+            yield from self.executor.run(
+                self.manager.write(lpn, data, hint), ctx=ctx
+            )
         finally:
             lock.release()
         elapsed = self.sim.now - start
         self.write_latency.record(elapsed)
         self._tm_write_us.observe(elapsed)
+        emit_host_op(self.trace, "write", ctx, before, elapsed)
 
-    def trim(self, lpn: int):
+    def trim(self, lpn: int, ctx: Optional[OpContext] = None):
         lock = self.region_locks[self.manager.region_of_lpn(lpn)]
         yield lock.request()
         try:
-            yield from self.executor.run(self.manager.trim(lpn))
+            yield from self.executor.run(self.manager.trim(lpn), ctx=ctx)
         finally:
             lock.release()
 
@@ -117,14 +162,17 @@ class SyncNoFTLStorage:
     def region_of_lpn(self, lpn: int) -> int:
         return self.manager.region_of_lpn(lpn)
 
-    def read(self, lpn: int):
-        return self.executor.run(self.manager.read(lpn))
+    def read(self, lpn: int, ctx: Optional[OpContext] = None):
+        return self.executor.run(self.manager.read(lpn), ctx=ctx)
 
-    def write(self, lpn: int, data=None, hint: str = "hot") -> None:
-        self.executor.run(self.manager.write(lpn, data, hint))
+    def write(self, lpn: int, data=None, hint: str = "hot",
+              ctx: Optional[OpContext] = None) -> None:
+        self.executor.run(self.manager.write(lpn, data, hint), ctx=ctx)
 
-    def trim(self, lpn: int) -> None:
-        self.executor.run(self.manager.trim(lpn))
+    def trim(self, lpn: int, ctx: Optional[OpContext] = None) -> None:
+        self.executor.run(self.manager.trim(lpn), ctx=ctx)
 
     def recover(self) -> int:
-        return self.executor.run(self.manager.recover())
+        return self.executor.run(
+            self.manager.recover(), ctx=OpContext("recovery")
+        )

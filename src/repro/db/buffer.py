@@ -21,7 +21,7 @@ from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, Optional
 
 from ..sim import Event, Simulator
-from ..telemetry import EventTrace, MetricsRegistry
+from ..telemetry import EventTrace, MetricsRegistry, OpContext
 from .page import decode_page
 from .storage import StorageAdapter
 from .wal import WALog
@@ -125,8 +125,11 @@ class BufferPool:
 
     # -- pin / unpin ----------------------------------------------------------------
 
-    def fetch(self, page_id: int, hint: str = "hot"):
+    def fetch(self, page_id: int, hint: str = "hot",
+              ctx: Optional[OpContext] = None):
         """Generator: pin the page, loading it from storage on a miss."""
+        if ctx is None:
+            ctx = OpContext("txn")
         while True:
             frame = self.frames.get(page_id)
             if frame is not None and not frame.evicting:
@@ -144,10 +147,10 @@ class BufferPool:
             try:
                 self.misses += 1
                 self._tm_misses.inc()
-                yield from self._make_room()
+                yield from self._make_room(ctx)
                 self._reserved += 1
                 try:
-                    raw = yield from self.storage.read(page_id)
+                    raw = yield from self.storage.read(page_id, ctx=ctx)
                 finally:
                     self._reserved -= 1
                 if raw is None:
@@ -160,11 +163,12 @@ class BufferPool:
                 done.succeed()
             return frame
 
-    def new_page(self, page_id: int, page, hint: str = "hot"):
+    def new_page(self, page_id: int, page, hint: str = "hot",
+                 ctx: Optional[OpContext] = None):
         """Generator: install a freshly allocated page (pinned, dirty)."""
         if page_id in self.frames or page_id in self._loading:
             raise ValueError(f"page {page_id} already resident")
-        yield from self._make_room()
+        yield from self._make_room(ctx)
         frame = Frame(page_id, page, hint)
         frame.pin_count = 1
         self.frames[page_id] = frame
@@ -233,24 +237,27 @@ class BufferPool:
 
     # -- flushing ----------------------------------------------------------------------
 
-    def flush_page(self, page_id: int):
+    def flush_page(self, page_id: int, ctx: Optional[OpContext] = None):
         """Generator: write one page back (no-op when clean or absent)."""
         frame = self.frames.get(page_id)
         if frame is None:
             return False
-        flushed = yield from self._flush_frame(frame)
+        flushed = yield from self._flush_frame(frame, ctx)
         return flushed
 
     def flush_all(self):
         """Generator: checkpoint — write back every dirty resident page."""
+        ctx = OpContext("host")
         for page_id in list(self.frames):
             frame = self.frames.get(page_id)
             if frame is not None and frame.dirty:
-                yield from self._flush_frame(frame)
+                yield from self._flush_frame(frame, ctx)
 
-    def _flush_frame(self, frame: Frame):
+    def _flush_frame(self, frame: Frame, ctx: Optional[OpContext] = None):
         if not frame.dirty:
             return False
+        if ctx is None:
+            ctx = OpContext("txn")
         if frame.flush_event is not None:
             yield frame.flush_event  # someone else is flushing: join them
             return False
@@ -263,8 +270,11 @@ class BufferPool:
             raw = frame.page.to_bytes()
             lsn = frame.page.lsn
             seq = frame.dirty_seq
+            wal_start = self.telemetry.now()
             yield from self.wal.flush_to(lsn)
-            yield from self.storage.write(frame.page_id, raw, frame.hint)
+            ctx.charge("wal_us", self.telemetry.now() - wal_start)
+            yield from self.storage.write(frame.page_id, raw, frame.hint,
+                                          ctx=ctx)
             if frame.dirty_seq == seq:
                 frame.dirty = False
                 while self._clean_waiters:
@@ -282,7 +292,7 @@ class BufferPool:
 
     # -- eviction ------------------------------------------------------------------------
 
-    def _make_room(self):
+    def _make_room(self, ctx: Optional[OpContext] = None):
         while len(self.frames) + self._reserved >= self.capacity:
             victim = self._pick_victim()
             if victim is None:
@@ -306,7 +316,7 @@ class BufferPool:
                 # Foreground write-back: the stall db-writers should prevent.
                 self.dirty_eviction_stalls += 1
                 self._tm_stalls.inc()
-                yield from self._flush_frame(victim)
+                yield from self._flush_frame(victim, ctx)
                 continue  # re-pick: state may have changed while flushing
             victim.evicting = True
             del self.frames[victim.page_id]

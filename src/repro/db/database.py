@@ -76,7 +76,8 @@ class Database:
             trace=self.trace,
         )
         self.locks = LockManager(sim, timeout_us=lock_timeout_us)
-        self.txn_manager = TransactionManager(sim, self.wal, self.locks)
+        self.txn_manager = TransactionManager(sim, self.wal, self.locks,
+                                              trace=self.trace)
         self.heaps: Dict[str, HeapFile] = {}
         self.indexes: Dict[str, BTreeIndex] = {}
         self.writers: Optional[DbWriterPool] = None

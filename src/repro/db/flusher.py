@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..sim import Interrupt, Simulator
-from ..telemetry import EventTrace, MetricsRegistry
+from ..telemetry import EventTrace, MetricsRegistry, OpContext
 
 __all__ = ["DbWriterPool"]
 
@@ -138,7 +138,10 @@ class DbWriterPool:
                     if (frame is None or not frame.dirty
                             or frame.flush_event is not None):
                         continue  # claimed by a peer since the scan: skip
-                    flushed = yield from self.buffer_pool.flush_page(page_id)
+                    ctx = OpContext("db-writer", writer_id=index)
+                    flushed = yield from self.buffer_pool.flush_page(
+                        page_id, ctx=ctx
+                    )
                     if flushed:
                         self.pages_flushed[index] += 1
                         region = self.storage.region_of_page(page_id)

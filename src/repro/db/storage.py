@@ -34,7 +34,14 @@ __all__ = [
 
 
 class StorageAdapter:
-    """Interface: page-granular storage with optional flash awareness."""
+    """Interface: page-granular storage with optional flash awareness.
+
+    ``ctx`` on the I/O methods is an optional
+    :class:`~repro.telemetry.OpContext` naming the root cause of the
+    operation (transaction, db-writer, recovery, ...); adapters whose
+    backend understands causal attribution pass it down, the others
+    ignore it.
+    """
 
     logical_pages: int
     num_regions: int = 1
@@ -43,13 +50,14 @@ class StorageAdapter:
     #: flash stack below it instead of keeping disjoint counters.
     telemetry = None
 
-    def read(self, page_id: int):  # pragma: no cover - interface
+    def read(self, page_id: int, ctx=None):  # pragma: no cover - interface
         raise NotImplementedError
 
-    def write(self, page_id: int, data, hint: str = "hot"):  # pragma: no cover
+    def write(self, page_id: int, data, hint: str = "hot",
+              ctx=None):  # pragma: no cover - interface
         raise NotImplementedError
 
-    def trim(self, page_id: int):  # pragma: no cover - interface
+    def trim(self, page_id: int, ctx=None):  # pragma: no cover - interface
         raise NotImplementedError
 
     def region_of_page(self, page_id: int) -> int:
@@ -65,15 +73,15 @@ class NoFTLStorageAdapter(StorageAdapter):
         self.num_regions = storage.manager.num_regions
         self.telemetry = storage.telemetry
 
-    def read(self, page_id: int):
-        data = yield from self.storage.read(page_id)
+    def read(self, page_id: int, ctx=None):
+        data = yield from self.storage.read(page_id, ctx=ctx)
         return data
 
-    def write(self, page_id: int, data, hint: str = "hot"):
-        yield from self.storage.write(page_id, data, hint)
+    def write(self, page_id: int, data, hint: str = "hot", ctx=None):
+        yield from self.storage.write(page_id, data, hint, ctx=ctx)
 
-    def trim(self, page_id: int):
-        yield from self.storage.trim(page_id)
+    def trim(self, page_id: int, ctx=None):
+        yield from self.storage.trim(page_id, ctx=ctx)
 
     def region_of_page(self, page_id: int) -> int:
         return self.storage.region_of_lpn(page_id)
@@ -88,15 +96,15 @@ class BlockDeviceAdapter(StorageAdapter):
         self.num_regions = 1
         self.telemetry = getattr(device.ftl, "telemetry", None)
 
-    def read(self, page_id: int):
-        data = yield from self.device.read(page_id)
+    def read(self, page_id: int, ctx=None):
+        data = yield from self.device.read(page_id, ctx=ctx)
         return data
 
-    def write(self, page_id: int, data, hint: str = "hot"):
+    def write(self, page_id: int, data, hint: str = "hot", ctx=None):
         # The block interface has no temperature channel: hint dropped.
-        yield from self.device.write(page_id, data)
+        yield from self.device.write(page_id, data, ctx=ctx)
 
-    def trim(self, page_id: int):
+    def trim(self, page_id: int, ctx=None):
         # The legacy write path of the paper's era carries no TRIM either;
         # the FTL keeps treating the page as live.  Intentional no-op.
         return
@@ -114,17 +122,17 @@ class RAMStorageAdapter(StorageAdapter):
         self.num_regions = num_regions
         self._pages: Dict[int, object] = {}
 
-    def read(self, page_id: int):
+    def read(self, page_id: int, ctx=None):
         self._check(page_id)
         yield self.sim.timeout(self.latency_us)
         return self._pages.get(page_id)
 
-    def write(self, page_id: int, data, hint: str = "hot"):
+    def write(self, page_id: int, data, hint: str = "hot", ctx=None):
         self._check(page_id)
         yield self.sim.timeout(self.latency_us)
         self._pages[page_id] = data
 
-    def trim(self, page_id: int):
+    def trim(self, page_id: int, ctx=None):
         self._check(page_id)
         yield self.sim.timeout(0)
         self._pages.pop(page_id, None)

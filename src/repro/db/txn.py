@@ -9,9 +9,11 @@ the before-image through the buffer pool.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
+from ..core.storage import emit_host_op
 from ..sim import Simulator
+from ..telemetry import EventTrace, OpContext
 from .locks import LockManager, LockMode, TxnAborted
 from .wal import WALog
 
@@ -50,10 +52,12 @@ class Transaction:
 class TransactionManager:
     """Begin / commit / abort over the shared WAL and lock manager."""
 
-    def __init__(self, sim: Simulator, wal: WALog, locks: LockManager):
+    def __init__(self, sim: Simulator, wal: WALog, locks: LockManager,
+                 trace: Optional[EventTrace] = None):
         self.sim = sim
         self.wal = wal
         self.locks = locks
+        self.trace = trace
         self._next_txn_id = 1
         self.commits = 0
         self.aborts = 0
@@ -63,16 +67,23 @@ class TransactionManager:
         self._next_txn_id += 1
         return txn
 
-    def commit(self, txn: Transaction):
+    def commit(self, txn: Transaction, ctx: Optional[OpContext] = None):
         """Generator: make the transaction durable and release its locks."""
         self._check_active(txn)
+        if ctx is None:
+            ctx = OpContext("txn-commit", txn_id=txn.txn_id)
+        start = self.sim.now
+        before = dict(ctx.costs)
         lsn = self.wal.append("commit", txn.txn_id)
+        wal_start = self.sim.now
         yield from self.wal.flush_to(lsn)
+        ctx.charge("wal_us", self.sim.now - wal_start)
         txn.state = _COMMITTED
         for action in txn.on_commit:
             yield from action()
         self.locks.release_all(txn.txn_id)
         self.commits += 1
+        emit_host_op(self.trace, "commit", ctx, before, self.sim.now - start)
 
     def abort(self, txn: Transaction):
         """Generator: undo every change, log the abort, release locks."""

@@ -23,10 +23,13 @@ latency-predictability experiment (E6).
 
 from __future__ import annotations
 
+from typing import Optional
 
+from ..core.storage import emit_host_op
 from ..flash.executor import SimExecutor, SyncExecutor
 from ..ftl.base import BaseFTL
 from ..sim import LatencyRecorder, Resource, Simulator
+from ..telemetry import OpContext
 
 __all__ = ["BlockDevice", "SyncBlockDevice"]
 
@@ -61,49 +64,85 @@ class BlockDevice:
         self.interface_overhead_us = interface_overhead_us
         self.read_latency = LatencyRecorder("blockdev-read")
         self.write_latency = LatencyRecorder("blockdev-write")
+        self.trace = ftl.trace
 
     @property
     def logical_pages(self) -> int:
         return self.ftl.logical_pages
 
-    def read(self, lba: int):
+    def _acquire(self, resource: Resource, ctx: OpContext):
+        """Acquire one queue slot, charging the wait to the context.
+
+        Waits while the FTL is mid-GC/merge are maintenance-blamed: the
+        controller slots are busy with relocations, which is exactly the
+        black-box starvation the paper's latency experiment exposes.  The
+        probe is sampled on arrival *and* after the wait so a merge that
+        starts mid-wait still gets the blame.
+        """
+        behind = self.ftl.maintenance_active
         start = self.sim.now
-        yield self.ncq.request()
+        yield resource.request()
+        wait = self.sim.now - start
+        if wait > 0:
+            behind = behind or self.ftl.maintenance_active
+            ctx.charge("queue_gc_us" if behind else "queue_other_us", wait)
+
+    def read(self, lba: int, ctx: Optional[OpContext] = None):
+        if ctx is None:
+            ctx = OpContext("host")
+        start = self.sim.now
+        before = dict(ctx.costs)
+        yield from self._acquire(self.ncq, ctx)
         try:
             yield self.sim.timeout(self.interface_overhead_us)
             if self._is_fast_read(lba):
-                data = yield from self.executor.run(self.ftl.read(lba))
+                data = yield from self.executor.run(
+                    self.ftl.read(lba), ctx=ctx
+                )
             else:
-                yield self.controller.request()
+                yield from self._acquire(self.controller, ctx)
                 try:
-                    data = yield from self.executor.run(self.ftl.read(lba))
+                    data = yield from self.executor.run(
+                        self.ftl.read(lba), ctx=ctx
+                    )
                 finally:
                     self.controller.release()
         finally:
             self.ncq.release()
-        self.read_latency.record(self.sim.now - start)
+        elapsed = self.sim.now - start
+        self.read_latency.record(elapsed)
+        emit_host_op(self.trace, "read", ctx, before, elapsed)
         return data
 
-    def write(self, lba: int, data=None):
+    def write(self, lba: int, data=None, ctx: Optional[OpContext] = None):
+        if ctx is None:
+            ctx = OpContext("host")
         start = self.sim.now
-        yield self.ncq.request()
+        before = dict(ctx.costs)
+        yield from self._acquire(self.ncq, ctx)
         try:
             yield self.sim.timeout(self.interface_overhead_us)
-            yield self.controller.request()
+            yield from self._acquire(self.controller, ctx)
             try:
-                yield from self.executor.run(self.ftl.write(lba, data))
+                yield from self.executor.run(
+                    self.ftl.write(lba, data), ctx=ctx
+                )
             finally:
                 self.controller.release()
         finally:
             self.ncq.release()
-        self.write_latency.record(self.sim.now - start)
+        elapsed = self.sim.now - start
+        self.write_latency.record(elapsed)
+        emit_host_op(self.trace, "write", ctx, before, elapsed)
 
-    def trim(self, lba: int):
-        yield self.ncq.request()
+    def trim(self, lba: int, ctx: Optional[OpContext] = None):
+        if ctx is None:
+            ctx = OpContext("host")
+        yield from self._acquire(self.ncq, ctx)
         try:
-            yield self.controller.request()
+            yield from self._acquire(self.controller, ctx)
             try:
-                yield from self.executor.run(self.ftl.trim(lba))
+                yield from self.executor.run(self.ftl.trim(lba), ctx=ctx)
             finally:
                 self.controller.release()
         finally:
@@ -125,11 +164,12 @@ class SyncBlockDevice:
     def logical_pages(self) -> int:
         return self.ftl.logical_pages
 
-    def read(self, lba: int):
-        return self.executor.run(self.ftl.read(lba))
+    def read(self, lba: int, ctx: Optional[OpContext] = None):
+        return self.executor.run(self.ftl.read(lba), ctx=ctx)
 
-    def write(self, lba: int, data=None) -> None:
-        self.executor.run(self.ftl.write(lba, data))
+    def write(self, lba: int, data=None,
+              ctx: Optional[OpContext] = None) -> None:
+        self.executor.run(self.ftl.write(lba, data), ctx=ctx)
 
-    def trim(self, lba: int) -> None:
-        self.executor.run(self.ftl.trim(lba))
+    def trim(self, lba: int, ctx: Optional[OpContext] = None) -> None:
+        self.executor.run(self.ftl.trim(lba), ctx=ctx)

@@ -51,7 +51,7 @@ from .errors import (
 from .faults import FaultInjector, FaultPlan
 from .geometry import Geometry
 from .timing import MLC_TIMING, TimingSpec
-from ..telemetry import FLASH_OPS, MetricsRegistry
+from ..telemetry import FLASH_OPS, EventTrace, MetricsRegistry
 
 __all__ = ["FlashArray", "ArrayCounters", "page_checksum"]
 
@@ -128,9 +128,18 @@ class FlashArray:
     telemetry
         Shared :class:`~repro.telemetry.MetricsRegistry`; a private one is
         created when omitted.  The array owns the per-die command counters
-        (``flash.commands{op, die}``) and busy-time sums
+        (``flash.commands{op, die, origin}``) and busy-time sums
         (``flash.busy_us{die}``) — the authoritative source of the
-        Figure 3 quantities.
+        Figure 3 quantities.  The ``origin`` label comes from the causal
+        context stamped on each command (``"host"`` when untagged);
+        aggregations over ``{op, die}`` are unaffected, since
+        :meth:`MetricsRegistry.value`/:meth:`~MetricsRegistry.series`
+        match label supersets.
+    trace
+        Optional :class:`~repro.telemetry.EventTrace`; when present, every
+        die-occupying command emits one ``flash.cmd`` event carrying op,
+        die, model latency and its causal origin/path — the raw material
+        of the attribution dashboards.
     """
 
     def __init__(
@@ -145,6 +154,7 @@ class FlashArray:
         checksum: bool = True,
         rng: Optional[random.Random] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
         if not 0.0 <= initial_bad_block_rate < 1.0:
             raise ValueError("initial_bad_block_rate must be in [0, 1)")
@@ -167,17 +177,18 @@ class FlashArray:
         self._crc: Dict[int, Optional[int]] = {}
         self.counters = ArrayCounters(per_die_ops=[0] * geometry.total_dies)
 
-        # Telemetry: counters resolved once here, bumped as plain attribute
-        # increments on the command hot paths.
+        # Telemetry: command counters carry an origin label from the causal
+        # context; the (op, die, origin) -> Counter cache keeps the hot
+        # path at one dict probe.  The "host" column is pre-materialized
+        # for every (op, die) so per-die aggregations always see all dies,
+        # zeros included (further origins appear lazily as they occur).
         self.telemetry = telemetry or MetricsRegistry()
+        self.trace = trace
         dies = geometry.total_dies
-        self._tm_ops = {
-            op: [
-                self.telemetry.counter("flash.commands", layer="flash", op=op, die=die)
-                for die in range(dies)
-            ]
-            for op in FLASH_OPS
-        }
+        self._tm_op_cache: Dict[tuple, Any] = {}
+        for op in FLASH_OPS:
+            for die in range(dies):
+                self._op_counter(op, die, "host")
         self._tm_busy = [
             self.telemetry.counter("flash.busy_us", layer="flash", die=die)
             for die in range(dies)
@@ -243,6 +254,37 @@ class FlashArray:
     def peek_oob(self, ppn: int) -> Any:
         return self._oob.get(ppn)
 
+    # -- accounting ----------------------------------------------------------------
+
+    def _op_counter(self, op: str, die: int, origin: str):
+        key = (op, die, origin)
+        counter = self._tm_op_cache.get(key)
+        if counter is None:
+            counter = self.telemetry.counter(
+                "flash.commands", layer="flash", op=op, die=die, origin=origin
+            )
+            self._tm_op_cache[key] = counter
+        return counter
+
+    def _account(self, command: FlashCommand, op: str, die: int,
+                 latency: float) -> None:
+        """Per-command telemetry: origin-labelled counter, busy time, and
+        (when tracing) one ``flash.cmd`` event.  Called before failure
+        checks raise, so attempted-but-failed commands are counted exactly
+        as the raw :class:`ArrayCounters` count them."""
+        ctx = command.ctx
+        origin = ctx.origin if ctx is not None else "host"
+        self._op_counter(op, die, origin).inc()
+        self._tm_busy[die].inc(latency)
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            if ctx is not None:
+                trace.emit("flash.cmd", op=op, die=die, latency_us=latency,
+                           origin=origin, path=ctx.path(), ctx=ctx.ctx_id)
+            else:
+                trace.emit("flash.cmd", op=op, die=die, latency_us=latency,
+                           origin=origin)
+
     # -- command execution -------------------------------------------------------
 
     def apply(self, command: FlashCommand) -> CommandResult:
@@ -307,8 +349,7 @@ class FlashArray:
         die = self._bump_die(ppn)
         latency = self.timing.read_latency_us(self.geometry.page_bytes)
         self.counters.busy_us += latency
-        self._tm_ops["read"][die].inc()
-        self._tm_busy[die].inc(latency)
+        self._account(command, "read", die, latency)
         return CommandResult(
             command,
             latency_us=latency,
@@ -343,8 +384,7 @@ class FlashArray:
         die = self._bump_die(ppn)
         latency = self.timing.program_latency_us(self.geometry.page_bytes)
         self.counters.busy_us += latency
-        self._tm_ops["program"][die].inc()
-        self._tm_busy[die].inc(latency)
+        self._account(command, "program", die, latency)
         if failed:
             raise ProgramError(ppn, pbn)
         return CommandResult(command, latency_us=latency, die=die)
@@ -369,8 +409,7 @@ class FlashArray:
         self.counters.per_die_ops[die] += 1
         latency = self.timing.erase_latency_us()
         self.counters.busy_us += latency
-        self._tm_ops["erase"][die].inc()
-        self._tm_busy[die].inc(latency)
+        self._account(command, "erase", die, latency)
         if (
             self.max_erase_cycles is not None
             and self.erase_counts[pbn] > self.max_erase_cycles
@@ -414,8 +453,7 @@ class FlashArray:
         self._bump_die(src)
         latency = self.timing.copyback_latency_us()
         self.counters.busy_us += latency
-        self._tm_ops["copyback"][die].inc()
-        self._tm_busy[die].inc(latency)
+        self._account(command, "copyback", die, latency)
         if failed:
             raise ProgramError(dst, dst_pbn)
         return CommandResult(command, latency_us=latency, die=die)
@@ -433,8 +471,7 @@ class FlashArray:
         latency = self.timing.cmd_overhead_us + self.timing.read_us + \
             self.timing.transfer_us(self.geometry.oob_bytes)
         self.counters.busy_us += latency
-        self._tm_ops["oob_read"][die].inc()
-        self._tm_busy[die].inc(latency)
+        self._account(command, "oob_read", die, latency)
         return CommandResult(command, latency_us=latency, die=die,
                              oob=self._oob.get(ppn))
 

@@ -23,12 +23,21 @@ __all__ = [
     "Identify",
     "Pause",
     "CommandResult",
+    "stamp_context",
+    "tag_commands",
 ]
 
 
 @dataclass(frozen=True)
 class FlashCommand:
     """Base marker for all native flash commands."""
+
+    # Causal context (an OpContext), stamped per instance by the executors
+    # / tag_commands via object.__setattr__.  Deliberately a plain class
+    # attribute, not a dataclass field: frozen-dataclass inheritance would
+    # force every subclass field after it to take a default, and keeping
+    # it out of the fields keeps command equality/hashing purely physical.
+    ctx = None
 
 
 @dataclass(frozen=True)
@@ -101,6 +110,44 @@ class Pause(FlashCommand):
     """
 
     duration_us: float = 100.0
+
+
+def stamp_context(command: FlashCommand, ctx) -> FlashCommand:
+    """Set a command's causal context in place (frozen-safe) and return it."""
+    object.__setattr__(command, "ctx", ctx)
+    return command
+
+
+def tag_commands(operation, ctx):
+    """Wrap a flash-command generator so every yielded command carries
+    ``ctx`` (commands already tagged by a nested wrapper keep their more
+    specific context).  Transparent to the executor protocol: results are
+    sent back in and flash errors thrown through.
+
+    This is how maintenance work deep inside an FTL gets its origin —
+    e.g. ``tag_commands(self._collect_body(...), OpContext("gc"))`` —
+    without any global "current context" state, which the interleaved DES
+    processes could not share safely.
+    """
+    try:
+        item = operation.send(None)
+    except StopIteration as stop:
+        return stop.value
+    while True:
+        if isinstance(item, FlashCommand) and item.ctx is None:
+            stamp_context(item, ctx)
+        try:
+            result = yield item
+        except BaseException as exc:  # noqa: BLE001 - executor protocol
+            try:
+                item = operation.throw(exc)
+            except StopIteration as stop:
+                return stop.value
+        else:
+            try:
+                item = operation.send(result)
+            except StopIteration as stop:
+                return stop.value
 
 
 @dataclass

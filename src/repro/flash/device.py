@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import List
 
 from ..sim import LatencyRecorder, Resource, Simulator
+from ..telemetry import MAINTENANCE_ORIGINS
 from .array import FlashArray
 from .commands import (
     CommandResult,
@@ -95,6 +96,15 @@ class SimFlashDevice:
         ]
         self.latency = LatencyRecorder("flash-commands")
         self._die_busy_us: List[float] = [0.0] * self.geometry.total_dies
+        # Cumulative die-held time split by who held it (host work vs
+        # maintenance origins).  A waiter samples the maintenance column
+        # before and after its queue wait: the delta is the part of its
+        # wait spent behind GC/merges/wear-leveling — the paper's "blocked
+        # behind garbage collection" effect, measured per command.
+        self._die_busy_by_class: List[dict] = [
+            {"host": 0.0, "maintenance": 0.0}
+            for __ in range(self.geometry.total_dies)
+        ]
         # Telemetry shares the array's registry; simulated time becomes the
         # clock for every span/histogram downstream of this device.
         self.telemetry = array.telemetry
@@ -128,9 +138,19 @@ class SimFlashDevice:
         die = self.array.die_of_command(command)
         start = self.sim.now
         die_resource = self.die_resources[die]
+        busy_by_class = self._die_busy_by_class[die]
+        maintenance_before = busy_by_class["maintenance"]
+        ctx = command.ctx
+        is_maintenance = ctx is not None and ctx.origin in MAINTENANCE_ORIGINS
         yield die_resource.request()
         acquired = self.sim.now
-        self._tm_queue_wait[die].observe(acquired - start)
+        wait = acquired - start
+        self._tm_queue_wait[die].observe(wait)
+        behind_gc = 0.0
+        if wait > 0:
+            behind_gc = min(
+                wait, busy_by_class["maintenance"] - maintenance_before
+            )
         try:
             # State transition happens when the die starts the command;
             # per-die FIFO queuing makes this consistent with issue order.
@@ -165,9 +185,15 @@ class SimFlashDevice:
                 yield self.sim.timeout(fault_extra)
         finally:
             die_resource.release()
-            self._die_busy_us[die] += self.sim.now - acquired
+            held = self.sim.now - acquired
+            self._die_busy_us[die] += held
+            busy_by_class["maintenance" if is_maintenance else "host"] += held
         total = self.sim.now - start
         self.latency.record(total)
         self._tm_service.observe(total)
         result.extra["observed_us"] = total
+        if wait > 0:
+            result.extra["queue_wait_us"] = wait
+            if behind_gc > 0:
+                result.extra["queue_gc_us"] = behind_gc
         return result

@@ -132,6 +132,14 @@ class BaseFTL:
     def name(self) -> str:
         return type(self).__name__
 
+    @property
+    def maintenance_active(self) -> bool:
+        """True while this FTL is running maintenance (GC, merges, wear
+        leveling) that host commands could queue behind.  The block device
+        uses this to classify controller/queue waits as GC-blamed in the
+        latency attribution; FTLs with real maintenance override it."""
+        return False
+
     def _check_lpn(self, lpn: int) -> None:
         if not 0 <= lpn < self.logical_pages:
             raise ValueError(

@@ -12,9 +12,10 @@ import random
 from collections import deque
 from typing import Deque, Dict, Iterable, Optional
 
-from ..flash.commands import EraseBlock, ProgramPage
+from ..flash.commands import EraseBlock, ProgramPage, tag_commands
 from ..flash.errors import BlockWornOut
 from ..flash.geometry import Geometry
+from ..telemetry import EventTrace, MetricsRegistry, OpContext
 from .base import UNMAPPED, BaseFTL, read_page_with_retry, relocate_page
 
 __all__ = ["BlockMapFTL"]
@@ -29,8 +30,10 @@ class BlockMapFTL(BaseFTL):
         op_ratio: float = 0.1,
         bad_blocks: Iterable[int] = (),
         rng: Optional[random.Random] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
-        super().__init__(geometry, op_ratio)
+        super().__init__(geometry, op_ratio, telemetry=telemetry, trace=trace)
         pages_per_block = geometry.pages_per_block
         # Export whole blocks only.
         self.logical_blocks = self.logical_pages // pages_per_block
@@ -78,7 +81,12 @@ class BlockMapFTL(BaseFTL):
             self._written[lbn].add(offset)
             return
         # Rewrite below the high-water mark: whole-block read-modify-write.
-        yield from self._rewrite_block(lbn, pbn, offset, data)
+        # The triggering program is host work, but the block relocation it
+        # forces is FTL maintenance — tagged "merge" so the attribution
+        # engine can blame it for the latency it induces.
+        yield from tag_commands(
+            self._rewrite_block(lbn, pbn, offset, data), OpContext("merge")
+        )
 
     def _rewrite_block(self, lbn: int, old_pbn: int, offset: int, data):
         new_pbn = self._take_block()

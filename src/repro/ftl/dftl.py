@@ -33,7 +33,7 @@ from collections import OrderedDict
 from typing import Iterable, List, Optional, Tuple
 
 from ..flash.geometry import Geometry
-from ..telemetry import MetricsRegistry
+from ..telemetry import EventTrace, MetricsRegistry
 from .base import UNMAPPED, BaseFTL, MappingState, read_page_with_retry
 from .pagespace import PageMappedSpace
 
@@ -65,8 +65,9 @@ class DFTL(BaseFTL):
         bad_blocks: Iterable[int] = (),
         rng: Optional[random.Random] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
-        super().__init__(geometry, op_ratio, telemetry=telemetry)
+        super().__init__(geometry, op_ratio, telemetry=telemetry, trace=trace)
         if cmt_entries < 1:
             raise ValueError("cmt_entries must be >= 1")
         self.cmt_entries = cmt_entries
@@ -228,6 +229,10 @@ class DFTL(BaseFTL):
             self._rebind_active = False
 
     # -- introspection ---------------------------------------------------------------
+
+    @property
+    def maintenance_active(self) -> bool:
+        return self.space.maintenance_active
 
     @property
     def cmt_hit_ratio(self) -> float:

@@ -30,10 +30,16 @@ import random
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Set
 
-from ..flash.commands import EraseBlock, Pause, ProgramPage
+from ..flash.commands import (
+    EraseBlock,
+    Pause,
+    ProgramPage,
+    stamp_context,
+    tag_commands,
+)
 from ..flash.errors import BlockWornOut, DieOutageError, UncorrectableError
 from ..flash.geometry import Geometry
-from ..telemetry import MetricsRegistry
+from ..telemetry import EventTrace, MetricsRegistry, OpContext
 from .base import BaseFTL, read_page_with_retry, relocate_page
 
 __all__ = ["FASTer"]
@@ -67,8 +73,9 @@ class FASTer(BaseFTL):
         bad_blocks: Iterable[int] = (),
         rng: Optional[random.Random] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
-        super().__init__(geometry, op_ratio, telemetry=telemetry)
+        super().__init__(geometry, op_ratio, telemetry=telemetry, trace=trace)
         if not 0.0 < log_fraction < 0.5:
             raise ValueError("log_fraction must be in (0, 0.5)")
         if not 0.0 <= migration_cap_fraction <= 1.0:
@@ -175,6 +182,12 @@ class FASTer(BaseFTL):
     def is_fast_read(self, lpn: int) -> bool:
         return True  # reads never mutate FASTer metadata
 
+    @property
+    def maintenance_active(self) -> bool:
+        """True while a log reclaim or full merge is in flight — host
+        commands queueing behind the controller then are blocked by GC."""
+        return self._reclaiming or bool(self._merging)
+
     # -- data-area path -----------------------------------------------------------
 
     def _can_write_in_place(self, lbn: int, offset: int) -> bool:
@@ -230,7 +243,12 @@ class FASTer(BaseFTL):
 
     def _sw_retire(self, partial: bool):
         """Switch merge (complete sequence) or partial merge (interrupted):
-        promote the SW block to data block."""
+        promote the SW block to data block.  Flash work done here is merge
+        maintenance, not the host write itself — tag it so."""
+        yield from tag_commands(self._sw_retire_body(partial),
+                                OpContext("merge"))
+
+    def _sw_retire_body(self, partial: bool):
         lbn, pbn = self._sw_lbn, self._sw_pbn
         fill = self._sw_fill
         self._sw_lbn = self._sw_pbn = None
@@ -324,7 +342,10 @@ class FASTer(BaseFTL):
                 hard_over = (len(self._log_order)
                              > self.log_blocks_max + 2 * self.log_stripes)
                 if hard_over:
-                    yield Pause(duration_us=200.0)
+                    # Waiting for the in-flight reclaim to free log space:
+                    # GC backpressure, blamed as such.
+                    yield stamp_context(Pause(duration_us=200.0),
+                                        OpContext("gc"))
                     continue
             pbn = self._take_block()
             self._log_block_entries[pbn] = []
@@ -344,11 +365,14 @@ class FASTer(BaseFTL):
 
     def _reclaim_oldest_log_block(self):
         victim = self._log_order.popleft()
+        ctx = OpContext("gc")
         with self.trace.span("log.reclaim", histogram=self._tm_reclaim_us,
-                             victim=victim):
-            yield from self._reclaim_log_block(victim)
+                             ctx=ctx, victim=victim) as span:
+            yield from tag_commands(
+                self._reclaim_log_block(victim, ctx=ctx, span=span), ctx
+            )
 
-    def _reclaim_log_block(self, victim: int):
+    def _reclaim_log_block(self, victim: int, ctx=None, span=None):
         entries = self._log_block_entries.pop(victim, [])
         valid = [
             (offset, lpn)
@@ -373,7 +397,7 @@ class FASTer(BaseFTL):
         # Full merges first: they consume log entries in *other* blocks too.
         for lbn in sorted({lpn // self.geometry.pages_per_block
                            for lpn in merge_lpns}):
-            yield from self._full_merge(lbn)
+            yield from self._full_merge(lbn, parent_ctx=ctx, parent_span=span)
 
         for offset, lpn in migrate:
             src = self.geometry.ppn_of(victim, offset)
@@ -427,7 +451,7 @@ class FASTer(BaseFTL):
             return
         yield from self._erase_block(victim)
 
-    def _full_merge(self, lbn: int):
+    def _full_merge(self, lbn: int, parent_ctx=None, parent_span=None):
         """Gather the newest version of every page of ``lbn`` into a fresh
         block — the expensive operation FASTer tries to avoid."""
         self.stats.merges_full += 1
@@ -435,10 +459,12 @@ class FASTer(BaseFTL):
         if lbn in self._merging:
             return  # a concurrent reclaim is already merging this block
         self._merging.add(lbn)
+        ctx = (parent_ctx.child("merge") if parent_ctx is not None
+               else OpContext("merge"))
         try:
             with self.trace.span("merge.full", histogram=self._tm_merge_us,
-                                 lbn=lbn):
-                yield from self._full_merge_locked(lbn)
+                                 parent=parent_span, ctx=ctx, lbn=lbn):
+                yield from tag_commands(self._full_merge_locked(lbn), ctx)
         finally:
             self._merging.discard(lbn)
 

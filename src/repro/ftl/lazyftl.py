@@ -31,7 +31,7 @@ from collections import OrderedDict
 from typing import Iterable, List, Optional, Tuple
 
 from ..flash.geometry import Geometry
-from ..telemetry import MetricsRegistry
+from ..telemetry import EventTrace, MetricsRegistry
 from .base import UNMAPPED, BaseFTL, MappingState, read_page_with_retry
 from .pagespace import PageMappedSpace
 
@@ -64,8 +64,9 @@ class LazyFTL(BaseFTL):
         bad_blocks: Iterable[int] = (),
         rng: Optional[random.Random] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
-        super().__init__(geometry, op_ratio, telemetry=telemetry)
+        super().__init__(geometry, op_ratio, telemetry=telemetry, trace=trace)
         if umt_entries < 1 or read_cache_entries < 1:
             raise ValueError("cache budgets must be >= 1")
         self.umt_entries = umt_entries
@@ -224,6 +225,10 @@ class LazyFTL(BaseFTL):
         yield from self._maybe_flush_umt()
 
     # -- introspection ----------------------------------------------------------------
+
+    @property
+    def maintenance_active(self) -> bool:
+        return self.space.maintenance_active
 
     @property
     def umt_fill(self) -> int:

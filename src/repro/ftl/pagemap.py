@@ -18,7 +18,7 @@ import random
 from typing import Iterable, Optional
 
 from ..flash.geometry import Geometry
-from ..telemetry import MetricsRegistry
+from ..telemetry import EventTrace, MetricsRegistry
 from .base import BaseFTL, MappingState
 from .pagespace import PageMappedSpace
 
@@ -39,8 +39,9 @@ class PageMapFTL(BaseFTL):
         bad_blocks: Iterable[int] = (),
         rng: Optional[random.Random] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
-        super().__init__(geometry, op_ratio, telemetry=telemetry)
+        super().__init__(geometry, op_ratio, telemetry=telemetry, trace=trace)
         self.mapping = MappingState(geometry, self.logical_pages)
         planes = [
             (die, plane)
@@ -83,3 +84,7 @@ class PageMapFTL(BaseFTL):
     def is_fast_read(self, lpn: int) -> bool:
         """Reads never touch FTL metadata: always lock-free."""
         return True
+
+    @property
+    def maintenance_active(self) -> bool:
+        return self.space.maintenance_active

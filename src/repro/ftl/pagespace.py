@@ -19,7 +19,13 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..flash.commands import EraseBlock, Pause, ProgramPage
+from ..flash.commands import (
+    EraseBlock,
+    Pause,
+    ProgramPage,
+    stamp_context,
+    tag_commands,
+)
 from ..flash.errors import (
     BlockWornOut,
     DieOutageError,
@@ -28,7 +34,7 @@ from ..flash.errors import (
     UncorrectableError,
 )
 from ..flash.geometry import Geometry
-from ..telemetry import EventTrace, MetricsRegistry
+from ..telemetry import EventTrace, MetricsRegistry, OpContext
 from .base import (
     UNMAPPED,
     BlockPool,
@@ -221,6 +227,13 @@ class PageMappedSpace:
     def total_free_blocks(self) -> int:
         return sum(len(plane.pool) for plane in self._planes.values())
 
+    @property
+    def maintenance_active(self) -> bool:
+        """True while any plane has a collection (GC / wear-level refresh)
+        in flight — used by the layers above to classify lock waits as
+        queueing-behind-GC."""
+        return any(plane.collecting for plane in self._planes.values())
+
     # -- host operations -------------------------------------------------------------
 
     def read(self, lpn: int):
@@ -293,7 +306,10 @@ class PageMappedSpace:
                     raise
                 failed_pbn = self.geometry.block_of_ppn(ppn)
                 self._quarantine_block(plane_id, failed_pbn)
-                yield from self._evacuate_block(plane_id, stream, failed_pbn)
+                yield from tag_commands(
+                    self._evacuate_block(plane_id, stream, failed_pbn),
+                    OpContext("evacuation"),
+                )
                 ppn = self._allocate(plane_id, stream)
 
     def _quarantine_block(self, plane_id: PlaneId, pbn: int) -> None:
@@ -375,7 +391,8 @@ class PageMappedSpace:
             return  # no free slot right now; the suspect mark stands
         oob = {"lpn": lpn, "seq": self.mapping.clock + 1}
         try:
-            yield ProgramPage(ppn=dst, data=data, oob=oob)
+            yield stamp_context(ProgramPage(ppn=dst, data=data, oob=oob),
+                                OpContext("scrub"))
         except FlashError:
             return  # scrub is advisory; the original page still reads
         # Reads are lock-free: only rebind if the mapping is unchanged.
@@ -419,7 +436,10 @@ class PageMappedSpace:
         while len(plane.pool) < self.gc_low_water:
             if plane.collecting:
                 self._tm_gc_waits.inc()
-                yield Pause(duration_us=100.0)
+                # This wait exists only because GC holds the plane: blame
+                # it on GC by tagging the pause with a maintenance origin.
+                yield stamp_context(Pause(duration_us=100.0),
+                                    OpContext("gc"))
                 attempts += 1
                 if attempts > 64 * plane.pool.initial_size:
                     raise RuntimeError(
@@ -469,20 +489,32 @@ class PageMappedSpace:
                 best, best_score = pbn, score
         return best
 
-    def _collect(self, plane: _Plane, victim: int):
-        """Generator: relocate the victim's valid pages, erase it."""
+    def _collect(self, plane: _Plane, victim: int, origin: str = "gc",
+                 parent=None):
+        """Generator: relocate the victim's valid pages, erase it.
+
+        Every flash command issued here — relocations, erases, and any
+        translation-page maintenance done by the ``rebind_hook`` — is
+        tagged with a fresh maintenance context (``origin``), so the
+        executor charges its time to the GC bucket of whichever host
+        request ended up running it inline.
+        """
         plane.collecting.add(victim)
         moved = []
         valid_count = self.mapping.valid_in_block[victim]
         self._tm_gc_runs.inc()
         self._tm_victim_valid.observe(valid_count)
+        ctx = OpContext(origin)
         with self.trace.span("gc.collect", histogram=self._tm_gc_us,
+                             parent=parent, ctx=ctx,
                              plane=plane.plane_id, victim=victim,
                              valid=valid_count) as span:
-            yield from self._collect_body(plane, victim, moved)
+            yield from tag_commands(
+                self._collect_body(plane, victim, moved), ctx
+            )
             span.note(moved=len(moved))
         if self.rebind_hook is not None and moved:
-            yield from self.rebind_hook(moved)
+            yield from tag_commands(self.rebind_hook(moved), ctx)
 
     def _collect_body(self, plane: _Plane, victim: int, moved: list):
         skipped = 0
@@ -621,8 +653,9 @@ class PageMappedSpace:
         self.stats.wl_moves += 1
         with self.trace.span("wl.migrate", histogram=self._tm_wl_us,
                              plane=plane.plane_id, block=coldest,
-                             spread=spread):
-            yield from self._collect(plane, coldest)
+                             spread=spread) as span:
+            yield from self._collect(plane, coldest, origin="wear-level",
+                                     parent=span)
 
     def rebuild_allocation(self, programmed_blocks) -> None:
         """Crash recovery: reset allocation state from a scan result.

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence
+import random
+import zlib
+from typing import Iterable, List, Optional, Sequence
 
 __all__ = ["RunningStats", "LatencyRecorder", "percentile", "TimeWeightedValue"]
 
@@ -75,19 +77,37 @@ class RunningStats:
 class LatencyRecorder:
     """Records individual latency samples and summarises their distribution.
 
-    Keeps raw samples (the experiments here are small enough) so that exact
-    percentiles and outlier counts can be reported, which is what the
-    paper's latency-predictability argument needs.
+    By default keeps raw samples (the tier-1 experiments are small enough)
+    so that exact percentiles and outlier counts can be reported, which is
+    what the paper's latency-predictability argument needs.  Long chaos /
+    synthetic runs can cap memory with ``max_samples``: once more than
+    that many samples arrive, the recorder switches to uniform reservoir
+    sampling (Vitter's Algorithm R, deterministically seeded from the
+    recorder name), so percentiles become estimates over an unbiased
+    subsample while ``count``/``mean``/``maximum`` stay exact via the
+    running stats.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "", max_samples: Optional[int] = None):
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
         self.name = name
+        self.max_samples = max_samples
         self.samples: List[float] = []
         self.stats = RunningStats()
+        self._rng = (
+            random.Random(zlib.crc32(name.encode("utf-8")))
+            if max_samples is not None else None
+        )
 
     def record(self, latency: float) -> None:
-        self.samples.append(latency)
         self.stats.add(latency)
+        if self.max_samples is None or len(self.samples) < self.max_samples:
+            self.samples.append(latency)
+        else:
+            slot = self._rng.randrange(self.stats.count)
+            if slot < self.max_samples:
+                self.samples[slot] = latency
 
     @property
     def count(self) -> int:
@@ -111,7 +131,7 @@ class LatencyRecorder:
     def summary(self) -> dict:
         if not self.samples:
             return {"name": self.name, "count": 0}
-        return {
+        out = {
             "name": self.name,
             "count": self.count,
             "mean": self.mean,
@@ -121,6 +141,9 @@ class LatencyRecorder:
             "p999": self.pct(99.9),
             "max": self.maximum,
         }
+        if self.max_samples is not None and self.count > len(self.samples):
+            out["retained"] = len(self.samples)
+        return out
 
 
 class TimeWeightedValue:

@@ -1,4 +1,4 @@
-"""Cross-layer telemetry: metrics registry + structured event tracing.
+"""Cross-layer telemetry: metrics, tracing, causal context, attribution.
 
 The observability substrate for the whole NoFTL stack.  One
 :class:`MetricsRegistry` is threaded through a rig (flash array, FTL or
@@ -7,8 +7,23 @@ carries spans for GC runs, wear-leveling migrations, flusher rounds and
 transactions.  Every bench exports ``registry.snapshot()`` as JSON — the
 machine-readable counterpart of the printed tables, and the source of the
 Figure 3/4 quantities (see DESIGN.md, "Telemetry metric names").
+
+On top of the counters, :class:`OpContext` carries each request's root
+cause down to individual flash commands, and
+:mod:`repro.telemetry.attribution` decomposes tail latency into media /
+queueing-behind-GC / retry shares from the resulting trace events (the
+``python -m repro.bench.observe`` dashboard).
 """
 
+from .attribution import (
+    blame_breakdown,
+    host_ops,
+    origin_mix,
+    span_rollup,
+    verify_origins,
+    windowed_series,
+)
+from .context import COST_BUCKETS, MAINTENANCE_ORIGINS, ORIGINS, OpContext
 from .registry import (
     FLASH_OPS,
     Counter,
@@ -18,7 +33,7 @@ from .registry import (
     flash_totals,
     sum_per_die,
 )
-from .trace import EventTrace, Span, TraceEvent
+from .trace import EventTrace, Span, TraceEvent, load_jsonl
 
 __all__ = [
     "FLASH_OPS",
@@ -31,4 +46,15 @@ __all__ = [
     "EventTrace",
     "Span",
     "TraceEvent",
+    "load_jsonl",
+    "OpContext",
+    "ORIGINS",
+    "MAINTENANCE_ORIGINS",
+    "COST_BUCKETS",
+    "blame_breakdown",
+    "host_ops",
+    "origin_mix",
+    "span_rollup",
+    "verify_origins",
+    "windowed_series",
 ]

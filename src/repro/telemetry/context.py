@@ -1,0 +1,155 @@
+"""Request-scoped causal context.
+
+Every I/O entering the stack gets an :class:`OpContext` naming its root
+cause (a transaction commit, a background db-writer, GC, wear leveling,
+...).  The context rides on the flash command objects themselves — there
+is deliberately **no** ambient "current context" stack, because the DES
+interleaves many generator processes and a global stack would mis-blame
+whichever process happened to run last.
+
+Two things hang off a context:
+
+* **identity** — ``origin`` (one of :data:`ORIGINS`), optional txn id /
+  writer id / die, a process-unique ``ctx_id`` and a ``parent`` link, so
+  a flash command can be traced back through ``gc`` -> ``db-writer`` to
+  the host request that ultimately caused it;
+* **costs** — a bucket dict the executors charge observed time into
+  (``media_us``, ``queue_gc_us``, ``queue_other_us``, ``gc_us``,
+  ``retry_us``, ``wal_us``), which the host layers snapshot into
+  ``host.op`` trace events.  The blame decomposition in
+  :mod:`repro.telemetry.attribution` is built entirely from those
+  events, so a saved JSONL trace reproduces the same numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+__all__ = ["ORIGINS", "MAINTENANCE_ORIGINS", "COST_BUCKETS", "OpContext"]
+
+#: Root-cause taxonomy.  ``txn`` is foreground transaction work (buffer
+#: misses, foreground flushes), ``txn-commit`` the commit path itself,
+#: ``db-writer`` the background flusher pool, ``host`` any other host
+#: entry point (checkpoints, raw device benches).  The rest are
+#: device-management origins raised inside the FTL / NoFTL layers.
+ORIGINS = (
+    "txn",
+    "txn-commit",
+    "db-writer",
+    "host",
+    "gc",
+    "merge",
+    "wear-level",
+    "scrub",
+    "evacuation",
+    "recovery",
+)
+
+#: Origins whose work exists only to manage the media.  Time spent in
+#: (or queued behind) these is the "GC-blamed" share of a latency.
+MAINTENANCE_ORIGINS = frozenset(
+    {"gc", "merge", "wear-level", "scrub", "evacuation"}
+)
+
+#: Buckets the executors / host layers charge into (always microseconds).
+COST_BUCKETS = (
+    "media_us",      # this op's own commands on the die / channel
+    "queue_gc_us",   # waiting behind maintenance work (die queue, locks)
+    "queue_other_us",  # waiting behind other foreground work
+    "gc_us",         # maintenance commands run inline inside this op
+    "retry_us",      # error-recovery backoff (ECC retries, outages)
+    "wal_us",        # WAL flush time (commit path only)
+)
+
+
+class OpContext:
+    """One causal origin, linkable into a chain via ``parent``."""
+
+    __slots__ = (
+        "origin", "txn_id", "writer_id", "die", "parent", "ctx_id", "costs",
+    )
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        origin: str,
+        txn_id: Optional[int] = None,
+        writer_id: Optional[int] = None,
+        die: Optional[int] = None,
+        parent: Optional["OpContext"] = None,
+    ):
+        if origin not in ORIGINS:
+            raise ValueError(f"unknown origin {origin!r}")
+        self.origin = origin
+        self.txn_id = txn_id
+        self.writer_id = writer_id
+        self.die = die
+        self.parent = parent
+        self.ctx_id = next(OpContext._ids)
+        self.costs: dict = {}
+
+    # -- lineage -------------------------------------------------------------
+
+    def child(self, origin: str, **kw) -> "OpContext":
+        """A sub-context caused by this one (e.g. a merge inside GC)."""
+        kw.setdefault("txn_id", self.txn_id)
+        kw.setdefault("writer_id", self.writer_id)
+        return OpContext(origin, parent=self, **kw)
+
+    def root(self) -> "OpContext":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def adopt(self, parent: "OpContext") -> None:
+        """Attach an orphan chain under ``parent``.
+
+        Maintenance work is created deep inside the FTL where the host
+        context is not in scope; the executor adopts those chains under
+        the request it is running, completing the causal path without
+        any global state.  A chain that already has a root parent (or
+        would create a cycle) is left alone.
+        """
+        root = self.root()
+        if root is parent or root is parent.root():
+            return
+        if root.parent is None:
+            root.parent = parent
+
+    def path(self) -> str:
+        """Origins from root to self, e.g. ``"db-writer/gc/merge"``."""
+        parts = []
+        node: Optional[OpContext] = self
+        while node is not None:
+            parts.append(node.origin)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def is_maintenance(self) -> bool:
+        return self.origin in MAINTENANCE_ORIGINS
+
+    def charge(self, bucket: str, us: float) -> None:
+        if us:
+            self.costs[bucket] = self.costs.get(bucket, 0.0) + us
+
+    def fields(self) -> dict:
+        """Identity fields for trace events."""
+        out = {"origin": self.origin, "ctx": self.ctx_id}
+        if self.parent is not None:
+            out["path"] = self.path()
+        if self.txn_id is not None:
+            out["txn"] = self.txn_id
+        if self.writer_id is not None:
+            out["writer"] = self.writer_id
+        if self.die is not None:
+            out["die"] = self.die
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"OpContext({self.path()!r}, id={self.ctx_id})"

@@ -82,16 +82,20 @@ class Gauge:
 class Histogram:
     """Latency/size distribution built on :class:`LatencyRecorder`.
 
-    Keeps raw samples (experiments here are small), so ``pct`` is exact and
-    matches :func:`repro.sim.stats.percentile` by construction.
+    By default keeps raw samples (experiments here are small), so ``pct``
+    is exact and matches :func:`repro.sim.stats.percentile` by
+    construction.  A ``max_samples`` bound (usually set registry-wide via
+    ``MetricsRegistry(histogram_max_samples=...)``) switches the backing
+    recorder to reservoir sampling for long runs.
     """
 
     __slots__ = ("name", "labels", "_recorder")
 
-    def __init__(self, name: str, labels: LabelSet):
+    def __init__(self, name: str, labels: LabelSet,
+                 max_samples: Optional[int] = None):
         self.name = name
         self.labels = labels
-        self._recorder = LatencyRecorder(name)
+        self._recorder = LatencyRecorder(name, max_samples=max_samples)
 
     def observe(self, value: float) -> None:
         self._recorder.record(value)
@@ -124,15 +128,22 @@ class MetricsRegistry:
     for the same triple returns the same object, so hot paths can resolve
     their counters once at construction time and bump plain attributes
     afterwards.
+
+    Internally each kind is a two-level table ``name -> labelset ->
+    instrument``, so aggregation queries (:meth:`value`, :meth:`series`)
+    only scan their own instrument family instead of every instrument in
+    the registry — the dashboards refresh these in a loop.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
-        self._counters: Dict[Tuple[str, LabelSet], Counter] = {}
-        self._gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
-        self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 histogram_max_samples: Optional[int] = None):
+        self._counters: Dict[str, Dict[LabelSet, Counter]] = {}
+        self._gauges: Dict[str, Dict[LabelSet, Gauge]] = {}
+        self._histograms: Dict[str, Dict[LabelSet, Histogram]] = {}
         self._collectors: Dict[str, Callable[[], dict]] = {}
         self._seq = 0
         self._clock = clock
+        self.histogram_max_samples = histogram_max_samples
 
     # -- clock ----------------------------------------------------------------
 
@@ -150,32 +161,40 @@ class MetricsRegistry:
     # -- instruments ----------------------------------------------------------
 
     def counter(self, name: str, **labels) -> Counter:
-        key = (name, _labelset(labels))
-        instrument = self._counters.get(key)
+        family = self._counters.setdefault(name, {})
+        key = _labelset(labels)
+        instrument = family.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter(name, key[1])
+            instrument = family[key] = Counter(name, key)
         return instrument
 
     def gauge(self, name: str, **labels) -> Gauge:
-        key = (name, _labelset(labels))
-        instrument = self._gauges.get(key)
+        family = self._gauges.setdefault(name, {})
+        key = _labelset(labels)
+        instrument = family.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge(name, key[1])
+            instrument = family[key] = Gauge(name, key)
         return instrument
 
     def histogram(self, name: str, **labels) -> Histogram:
-        key = (name, _labelset(labels))
-        instrument = self._histograms.get(key)
+        family = self._histograms.setdefault(name, {})
+        key = _labelset(labels)
+        instrument = family.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(name, key[1])
+            instrument = family[key] = Histogram(
+                name, key, max_samples=self.histogram_max_samples
+            )
         return instrument
 
     # -- aggregation ----------------------------------------------------------
 
     def _matching(self, table: dict, name: str, labels: Dict[str, object]):
+        family = table.get(name)
+        if not family:
+            return
         want = labels.items()
-        for (candidate, labelset), instrument in table.items():
-            if candidate == name and all(pair in labelset for pair in want):
+        for labelset, instrument in family.items():
+            if all(pair in labelset for pair in want):
                 yield instrument
 
     def value(self, name: str, **labels) -> float:
@@ -209,12 +228,19 @@ class MetricsRegistry:
 
     # -- export ---------------------------------------------------------------
 
+    @staticmethod
+    def _instruments(table: dict):
+        for family in table.values():
+            yield from family.values()
+
     def snapshot(self) -> dict:
         """One nested, JSON-ready dict of everything the registry knows."""
         return {
-            "counters": [c.as_dict() for c in self._counters.values()],
-            "gauges": [g.as_dict() for g in self._gauges.values()],
-            "histograms": [h.as_dict() for h in self._histograms.values()],
+            "counters": [c.as_dict() for c in self._instruments(self._counters)],
+            "gauges": [g.as_dict() for g in self._instruments(self._gauges)],
+            "histograms": [
+                h.as_dict() for h in self._instruments(self._histograms)
+            ],
             "collectors": {name: fn() for name, fn in self._collectors.items()},
         }
 
@@ -225,11 +251,34 @@ class MetricsRegistry:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
 
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's counters, gauges *and* histograms into
+        this one (multi-device benches building one artifact).
+
+        Counters sum; histogram samples are re-observed into the local
+        instrument (so a local reservoir bound still applies); gauges are
+        point-in-time values, so the merged-in registry's reading wins.
+        Collectors are not merged — they are bound to live objects.
+        """
+        for name, family in other._counters.items():
+            for labelset, counter in family.items():
+                self.counter(name, **dict(labelset)).inc(counter.value)
+        for name, family in other._gauges.items():
+            for labelset, gauge in family.items():
+                self.gauge(name, **dict(labelset)).set(gauge.value)
+        for name, family in other._histograms.items():
+            for labelset, histogram in family.items():
+                mine = self.histogram(name, **dict(labelset))
+                for sample in histogram.samples:
+                    mine.observe(sample)
+
     def merge_counters_from(self, other: "MetricsRegistry") -> None:
-        """Fold another registry's counters into this one (used when a
-        bench builds several short-lived devices but wants one artifact)."""
-        for (name, labelset), counter in other._counters.items():
-            self.counter(name, **dict(labelset)).inc(counter.value)
+        """Counters-only merge, kept for callers that explicitly want to
+        discard distribution data.  Gauges and histograms are **not**
+        carried over — use :meth:`merge_from` to keep latency data."""
+        for name, family in other._counters.items():
+            for labelset, counter in family.items():
+                self.counter(name, **dict(labelset)).inc(counter.value)
 
 
 #: Flash command types accounted per die by the flash layer.

@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Callable, Deque, List, Optional, TextIO
+from typing import Callable, Deque, List, Optional, TextIO, Union
 
-__all__ = ["TraceEvent", "EventTrace", "Span"]
+__all__ = ["TraceEvent", "EventTrace", "Span", "load_jsonl"]
 
 
 class TraceEvent:
@@ -47,16 +47,33 @@ class Span:
     around a ``yield from`` body times the simulated duration, and the
     ``finally`` semantics of ``with`` close the span even on interrupt.
     Extra fields discovered mid-span can be attached via :meth:`note`.
+
+    Spans nest explicitly: pass ``parent=`` (a :class:`Span` or its id)
+    and the begin/end events carry ``span``/``parent`` ids from which
+    :func:`repro.telemetry.attribution.span_rollup` rebuilds the tree.
+    There is deliberately no implicit "current span" — the DES interleaves
+    processes, and an ambient stack would mis-parent spans.  A ``ctx=``
+    (an :class:`~repro.telemetry.context.OpContext`) merges its identity
+    fields (origin, path, txn/writer ids) into the events.
     """
 
-    __slots__ = ("trace", "kind", "fields", "histogram", "start")
+    __slots__ = (
+        "trace", "kind", "fields", "histogram", "start", "span_id",
+        "parent_id",
+    )
 
-    def __init__(self, trace: "EventTrace", kind: str, histogram, fields: dict):
+    def __init__(self, trace: "EventTrace", kind: str, histogram, fields: dict,
+                 parent: Union["Span", int, None] = None, ctx=None):
         self.trace = trace
         self.kind = kind
         self.fields = fields
         self.histogram = histogram
         self.start = 0.0
+        self.span_id = 0
+        self.parent_id = parent.span_id if isinstance(parent, Span) else parent
+        if ctx is not None:
+            for key, value in ctx.fields().items():
+                self.fields.setdefault(key, value)
 
     def note(self, **fields) -> None:
         """Attach extra fields reported on the end event."""
@@ -64,7 +81,10 @@ class Span:
 
     def __enter__(self) -> "Span":
         self.start = self.trace.now()
-        self.trace.emit(self.kind + ":begin", **self.fields)
+        self.span_id = self.trace.next_span_id()
+        if self.parent_id:
+            self.fields.setdefault("parent", self.parent_id)
+        self.trace.emit(self.kind + ":begin", span=self.span_id, **self.fields)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -73,7 +93,7 @@ class Span:
         fields["duration_us"] = duration
         if exc_type is not None:
             fields["error"] = exc_type.__name__
-        self.trace.emit(self.kind + ":end", **fields)
+        self.trace.emit(self.kind + ":end", span=self.span_id, **fields)
         if self.histogram is not None:
             self.histogram.observe(duration)
 
@@ -112,9 +132,14 @@ class EventTrace:
         self.sink = sink
         self._clock = clock
         self._seq = 0
+        self._span_seq = 0
 
     def set_clock(self, clock: Optional[Callable[[], float]]) -> None:
         self._clock = clock
+
+    def next_span_id(self) -> int:
+        self._span_seq += 1
+        return self._span_seq
 
     def now(self) -> float:
         if self._clock is not None:
@@ -135,9 +160,10 @@ class EventTrace:
         if self.sink is not None:
             self.sink.write(json.dumps(event.as_dict(), default=str) + "\n")
 
-    def span(self, kind: str, histogram=None, **fields) -> Span:
+    def span(self, kind: str, histogram=None, parent=None, ctx=None,
+             **fields) -> Span:
         """Begin/end event pair timing one operation; see :class:`Span`."""
-        return Span(self, kind, histogram, fields)
+        return Span(self, kind, histogram, fields, parent=parent, ctx=ctx)
 
     # -- inspection / export --------------------------------------------------
 
@@ -161,3 +187,26 @@ class EventTrace:
             for event in self.events:
                 handle.write(json.dumps(event.as_dict(), default=str) + "\n")
         return len(self.events)
+
+
+def load_jsonl(path) -> List[dict]:
+    """Load a trace written by a JSONL sink or :meth:`EventTrace.to_jsonl`.
+
+    ``path`` is a filename or an open text stream.  Returns the raw event
+    dicts (``{"ts", "kind", **fields}``) — the form the attribution
+    engine consumes, so saved traces replay through the exact same
+    analysis code as live runs.
+    """
+
+    def _read(handle) -> List[dict]:
+        events: List[dict] = []
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+        return events
+
+    if hasattr(path, "read"):
+        return _read(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        return _read(handle)

@@ -69,18 +69,18 @@ class TraceRecordingAdapter(StorageAdapter):
         self.logical_pages = inner.logical_pages
         self.num_regions = inner.num_regions
 
-    def read(self, page_id: int):
+    def read(self, page_id: int, ctx=None):
         self.trace.append(READ, page_id)
-        data = yield from self.inner.read(page_id)
+        data = yield from self.inner.read(page_id, ctx=ctx)
         return data
 
-    def write(self, page_id: int, data, hint: str = "hot"):
+    def write(self, page_id: int, data, hint: str = "hot", ctx=None):
         self.trace.append(WRITE, page_id, hint)
-        yield from self.inner.write(page_id, data, hint)
+        yield from self.inner.write(page_id, data, hint, ctx=ctx)
 
-    def trim(self, page_id: int):
+    def trim(self, page_id: int, ctx=None):
         self.trace.append(TRIM, page_id)
-        yield from self.inner.trim(page_id)
+        yield from self.inner.trim(page_id, ctx=ctx)
 
     def region_of_page(self, page_id: int) -> int:
         return self.inner.region_of_page(page_id)
