@@ -87,13 +87,18 @@ class NoFTLStorage:
         if ctx is None:
             ctx = OpContext("host")
         start = self.sim.now
-        before = dict(ctx.costs)
+        # The cost-bucket snapshot only feeds the host.op trace event;
+        # skip the dict copy entirely when tracing is off.
+        trace = self.trace
+        tracing = trace is not None and trace.enabled
+        before = dict(ctx.costs) if tracing else None
         yield self.sim.timeout(self.interface_overhead_us)
         data = yield from self.executor.run(self.manager.read(lpn), ctx=ctx)
         elapsed = self.sim.now - start
         self.read_latency.record(elapsed)
         self._tm_read_us.observe(elapsed)
-        emit_host_op(self.trace, "read", ctx, before, elapsed)
+        if tracing:
+            emit_host_op(trace, "read", ctx, before, elapsed)
         return data
 
     def write(self, lpn: int, data=None, hint: str = "hot",
@@ -101,7 +106,9 @@ class NoFTLStorage:
         if ctx is None:
             ctx = OpContext("host")
         start = self.sim.now
-        before = dict(ctx.costs)
+        trace = self.trace
+        tracing = trace is not None and trace.enabled
+        before = dict(ctx.costs) if tracing else None
         region = self.manager.region_of_lpn(lpn)
         lock = self.region_locks[region]
         # Classify the region-lock wait: if the region's space is running
@@ -127,7 +134,8 @@ class NoFTLStorage:
         elapsed = self.sim.now - start
         self.write_latency.record(elapsed)
         self._tm_write_us.observe(elapsed)
-        emit_host_op(self.trace, "write", ctx, before, elapsed)
+        if tracing:
+            emit_host_op(trace, "write", ctx, before, elapsed)
 
     def trim(self, lpn: int, ctx: Optional[OpContext] = None):
         lock = self.region_locks[self.manager.region_of_lpn(lpn)]

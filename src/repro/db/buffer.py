@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, Optional
 
-from ..sim import Event, Simulator
+from ..sim import Event, Granted, Simulator
 from ..telemetry import EventTrace, MetricsRegistry, OpContext
 from .page import decode_page
 from .storage import StorageAdapter
@@ -85,6 +85,10 @@ class BufferPool:
         self.dirty_throttle_fraction = dirty_throttle_fraction
         self.throttle_waits = 0
         self.frames: "OrderedDict[int, Frame]" = OrderedDict()
+        # Resident dirty frames, maintained at each dirty/clean transition
+        # so throttle() and the db-writers' idle scans are O(1) instead of
+        # O(frames).
+        self._dirty_total = 0
         self._loading: Dict[int, Event] = {}
         self._reserved = 0
         self._unpin_waiters: Deque[Event] = deque()
@@ -127,9 +131,20 @@ class BufferPool:
 
     def fetch(self, page_id: int, hint: str = "hot",
               ctx: Optional[OpContext] = None):
-        """Generator: pin the page, loading it from storage on a miss."""
-        if ctx is None:
-            ctx = OpContext("txn")
+        """``yield from`` target: pin the page, loading it from storage on
+        a miss.  Hits complete without allocating a generator frame."""
+        frame = self.frames.get(page_id)
+        if frame is not None and not frame.evicting:
+            frame.pin_count += 1
+            self.frames.move_to_end(page_id)
+            self.hits += 1
+            self._tm_hits.value += 1
+            return Granted(frame)
+        return self._fetch_miss(page_id, hint, ctx)
+
+    def _fetch_miss(self, page_id: int, hint: str,
+                    ctx: Optional[OpContext]):
+        """Generator: the miss / load-in-flight path of :meth:`fetch`."""
         while True:
             frame = self.frames.get(page_id)
             if frame is not None and not frame.evicting:
@@ -142,6 +157,10 @@ class BufferPool:
             if loading is not None:
                 yield loading
                 continue
+            # The context is only consulted on the miss path (eviction +
+            # storage read); hits skip the default-OpContext allocation.
+            if ctx is None:
+                ctx = OpContext("txn")
             done = self.sim.event()
             self._loading[page_id] = done
             try:
@@ -190,7 +209,9 @@ class BufferPool:
                 raise RuntimeError(f"purging pinned page {page_id}")
             if frame.flush_event is not None:
                 yield frame.flush_event
-            frame.dirty = False
+            if frame.dirty:
+                frame.dirty = False
+                self._dirty_total -= 1
             self.frames.pop(page_id, None)
 
     def unpin(self, page_id: int) -> None:
@@ -207,11 +228,13 @@ class BufferPool:
         was_clean = not frame.dirty
         frame.dirty = True
         frame.dirty_seq += 1
-        if was_clean and self._dirty_listener is not None:
-            self._dirty_listener(page_id, frame)
+        if was_clean:
+            self._dirty_total += 1
+            if self._dirty_listener is not None:
+                self._dirty_listener(page_id, frame)
 
     def throttle(self):
-        """Generator: back-pressure for mutators.
+        """``yield from`` target: back-pressure for mutators.
 
         No-op unless ``dirty_throttle_fraction`` is set, background
         writers are running and the dirty ratio is above the limit; then
@@ -220,7 +243,11 @@ class BufferPool:
         """
         if self.dirty_throttle_fraction is None \
                 or not self.background_writers_active:
-            return
+            return ()  # delegating to an empty tuple yields nothing
+        return self._throttle_wait()
+
+    def _throttle_wait(self):
+        """Generator: the engaged-throttle path of :meth:`throttle`."""
         limit = self.dirty_throttle_fraction * self.capacity
         while self.dirty_count > limit:
             self.throttle_waits += 1
@@ -277,6 +304,7 @@ class BufferPool:
                                           ctx=ctx)
             if frame.dirty_seq == seq:
                 frame.dirty = False
+                self._dirty_total -= 1
                 while self._clean_waiters:
                     self._clean_waiters.popleft().succeed()
             elif self._dirty_listener is not None:
@@ -340,7 +368,7 @@ class BufferPool:
 
     @property
     def dirty_count(self) -> int:
-        return sum(1 for frame in self.frames.values() if frame.dirty)
+        return self._dirty_total
 
     def snapshot(self) -> dict:
         return {

@@ -168,9 +168,12 @@ class Database:
     # -- misc -----------------------------------------------------------------------------
 
     def cpu(self, ops: int = 1):
-        """Generator: charge host CPU time for ``ops`` record operations."""
+        """``yield from`` target: charge host CPU time for ``ops`` record
+        operations.  A 1-tuple delegates exactly like a generator that
+        yields the timeout once, minus the generator frame."""
         if self.cpu_us_per_op:
-            yield self.sim.timeout(self.cpu_us_per_op * ops)
+            return (self.sim.timeout(self.cpu_us_per_op * ops),)
+        return ()
 
     def checkpoint(self):
         """Generator: flush every dirty page (used at benchmark barriers)."""

@@ -25,7 +25,7 @@ rewritten to flash on every change.  Two assignment policies:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..sim import Interrupt, Simulator
 from ..telemetry import EventTrace, MetricsRegistry, OpContext
@@ -72,7 +72,8 @@ class DbWriterPool:
         # Per-(writer, region) flush counters: the die-affinity picture —
         # under the region policy each writer's column collapses onto its
         # own regions; under the global policy every writer hits them all.
-        self._tm_pages: Dict[Tuple[int, int], object] = {}
+        self._tm_pages = self.telemetry.counter_vec(
+            "db.flusher.pages", ("writer", "region"), layer="db")
         self._tm_round_us = self.telemetry.histogram(
             "db.flusher.round_us", layer="db", policy=policy)
         self.telemetry.register_collector("db.flusher", self.snapshot)
@@ -101,25 +102,25 @@ class DbWriterPool:
 
     def _candidates(self, index: int) -> List[int]:
         """Dirty, unpinned, unclaimed frames in LRU (eviction) order."""
+        remaining = self.buffer_pool.dirty_count
+        if not remaining:
+            return []  # idle poll on a clean pool: skip the frame scan
         picked = []
+        batch_size = self.batch_size
         for page_id, frame in self.buffer_pool.frames.items():
-            if len(picked) >= self.batch_size:
-                break
-            if (frame.dirty and frame.pin_count == 0
-                    and frame.flush_event is None
-                    and self._owns(index, page_id)):
-                picked.append(page_id)
+            if frame.dirty:
+                if (frame.pin_count == 0 and frame.flush_event is None
+                        and self._owns(index, page_id)):
+                    picked.append(page_id)
+                    if len(picked) >= batch_size:
+                        break
+                remaining -= 1
+                if not remaining:
+                    break  # every dirty frame has been considered
         return picked
 
     def _flushed_counter(self, index: int, region: int):
-        key = (index, region)
-        counter = self._tm_pages.get(key)
-        if counter is None:
-            counter = self.telemetry.counter(
-                "db.flusher.pages", layer="db",
-                writer=index, region=region)
-            self._tm_pages[key] = counter
-        return counter
+        return self._tm_pages.labels(index, region)
 
     def _writer_loop(self, index: int):
         while not self._stopping:

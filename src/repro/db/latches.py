@@ -23,26 +23,27 @@ class RWLock:
         self.waits = 0
 
     def acquire_read(self):
+        """``yield from`` target: uncontended grants suspend nothing."""
         self.read_acquisitions += 1
         if not self._writer_active and not self._queue:
             self._active_readers += 1
-            return
-            yield  # pragma: no cover - generator form
-        self.waits += 1
-        event = self.sim.event()
-        self._queue.append((event, "r"))
-        yield event
+            return ()
+        return self._wait("r")
 
     def acquire_write(self):
+        """``yield from`` target: uncontended grants suspend nothing."""
         self.write_acquisitions += 1
         if not self._writer_active and self._active_readers == 0 \
                 and not self._queue:
             self._writer_active = True
-            return
-            yield  # pragma: no cover - generator form
+            return ()
+        return self._wait("w")
+
+    def _wait(self, kind: str):
+        """Generator: queue behind the current holders."""
         self.waits += 1
         event = self.sim.event()
-        self._queue.append((event, "w"))
+        self._queue.append((event, kind))
         yield event
 
     def release_read(self) -> None:

@@ -12,9 +12,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Set, Tuple
 
-from ..sim import AnyOf, Simulator
+from ..sim import AnyOf, Granted, Simulator
 
 __all__ = ["LockMode", "TxnAborted", "LockManager"]
+
+# Shared pre-completed target for every immediate-grant path: callers do
+# ``yield from acquire(...)`` either way, but the uncontended case costs
+# no generator frame and never suspends.
+_DONE = Granted(None)
 
 
 class LockMode:
@@ -51,7 +56,8 @@ class LockManager:
     # -- acquisition ---------------------------------------------------------------
 
     def acquire(self, txn_id: int, key, mode: str):
-        """Generator: block until granted; raises TxnAborted on timeout."""
+        """``yield from`` target: blocks until granted; raises TxnAborted
+        on timeout.  Immediate grants complete without suspending."""
         if mode not in (LockMode.SHARED, LockMode.EXCLUSIVE):
             raise ValueError(f"bad lock mode {mode!r}")
         self.total_acquisitions += 1
@@ -59,15 +65,19 @@ class LockManager:
         held = record.holders.get(txn_id)
         if held is not None:
             if held == LockMode.EXCLUSIVE or mode == LockMode.SHARED:
-                return  # already strong enough
+                return _DONE  # already strong enough
             if len(record.holders) == 1:
                 record.holders[txn_id] = LockMode.EXCLUSIVE  # upgrade
-                return
+                return _DONE
             # Upgrade with other readers present: queue like a fresh X.
         if self._grantable(record, txn_id, mode):
             record.holders[txn_id] = mode
             self._held.setdefault(txn_id, set()).add(key)
-            return
+            return _DONE
+        return self._acquire_wait(record, txn_id, key, mode)
+
+    def _acquire_wait(self, record: _LockRecord, txn_id: int, key, mode: str):
+        """Generator: the contended path of :meth:`acquire`."""
         self.total_waits += 1
         event = self.sim.event()
         entry = (event, txn_id, mode)
@@ -88,12 +98,13 @@ class LockManager:
     def _grantable(self, record: _LockRecord, txn_id: int, mode: str) -> bool:
         if record.queue:
             return False  # FIFO fairness: no barging
-        others = {tid: held_mode for tid, held_mode in record.holders.items()
-                  if tid != txn_id}
+        holders = record.holders
+        if not holders:
+            return True
         if mode == LockMode.SHARED:
             return all(held_mode == LockMode.SHARED
-                       for held_mode in others.values())
-        return not others
+                       for tid, held_mode in holders.items() if tid != txn_id)
+        return all(tid == txn_id for tid in holders)
 
     # -- release ---------------------------------------------------------------------
 

@@ -37,6 +37,7 @@ _COMMON = struct.Struct("<HBxIQ")          # magic, type, page_id, lsn
 _SLOTTED_SUB = struct.Struct("<HH")        # nslots, free_ptr
 _SLOT = struct.Struct("<HH")               # offset, length
 _TOMBSTONE = 0xFFFF
+_TOMB_SLOT = _SLOT.pack(_TOMBSTONE, 0)
 
 
 class PageFormatError(Exception):
@@ -59,6 +60,11 @@ class SlottedPage:
         self.page_bytes = page_bytes
         self.lsn = 0
         self._records: List[Optional[bytes]] = []
+        # Live payload bytes, maintained incrementally by every mutator —
+        # used_bytes()/free_space() run on each insert/update and on the
+        # buffer pool's admission checks, so an O(records) recount here
+        # dominated whole-rig profiles.
+        self._payload_bytes = 0
 
     # -- capacity accounting -------------------------------------------------
 
@@ -75,9 +81,8 @@ class SlottedPage:
         return sum(1 for record in self._records if record is not None)
 
     def used_bytes(self) -> int:
-        payload = sum(len(record) for record in self._records
-                      if record is not None)
-        return self.header_size + _SLOT.size * len(self._records) + payload
+        return (_COMMON.size + _SLOTTED_SUB.size
+                + _SLOT.size * len(self._records) + self._payload_bytes)
 
     def free_space(self) -> int:
         return self.page_bytes - self.used_bytes()
@@ -95,13 +100,16 @@ class SlottedPage:
         if len(record) >= _TOMBSTONE:
             raise ValueError("record too large for slot encoding")
         # reuse a tombstoned slot when possible (needs no directory growth)
-        for slot, existing in enumerate(self._records):
-            if existing is None and self.free_space() >= len(record):
-                self._records[slot] = record
-                return slot
+        if self.free_space() >= len(record):
+            for slot, existing in enumerate(self._records):
+                if existing is None:
+                    self._records[slot] = record
+                    self._payload_bytes += len(record)
+                    return slot
         if not self.fits(record):
             return None
         self._records.append(record)
+        self._payload_bytes += len(record)
         return len(self._records) - 1
 
     def get(self, slot: int) -> Optional[bytes]:
@@ -119,12 +127,14 @@ class SlottedPage:
         if growth > self.free_space():
             return False
         self._records[slot] = record
+        self._payload_bytes += growth
         return True
 
     def delete(self, slot: int) -> None:
         self._check_slot(slot)
         if self._records[slot] is None:
             raise KeyError(f"slot {slot} already deleted")
+        self._payload_bytes -= len(self._records[slot])
         self._records[slot] = None
 
     def ensure_slot(self, slot: int, record) -> None:
@@ -134,7 +144,13 @@ class SlottedPage:
             raise IndexError(f"slot {slot} out of range")
         while len(self._records) <= slot:
             self._records.append(None)
-        self._records[slot] = bytes(record) if record is not None else None
+        old = self._records[slot]
+        if old is not None:
+            self._payload_bytes -= len(old)
+        new = bytes(record) if record is not None else None
+        self._records[slot] = new
+        if new is not None:
+            self._payload_bytes += len(new)
 
     def restore(self, slot: int, record: bytes) -> None:
         """Put a record back into its original (tombstoned) slot — undo of
@@ -146,6 +162,7 @@ class SlottedPage:
         if self.free_space() < len(record):
             raise ValueError("no room to restore record")
         self._records[slot] = record
+        self._payload_bytes += len(record)
 
     def iter_records(self):
         """(slot, record) pairs of live records."""
@@ -166,14 +183,19 @@ class SlottedPage:
         _SLOTTED_SUB.pack_into(out, _COMMON.size, len(self._records), 0)
         directory = _COMMON.size + _SLOTTED_SUB.size
         payload_end = self.page_bytes
-        for slot, record in enumerate(self._records):
-            entry = directory + slot * _SLOT.size
+        # Build the slot directory as one joined bytes object instead of a
+        # pack_into per slot: serialisation runs on every flush/evict.
+        slot_pack = _SLOT.pack
+        entries = []
+        for record in self._records:
             if record is None:
-                _SLOT.pack_into(out, entry, _TOMBSTONE, 0)
+                entries.append(_TOMB_SLOT)
             else:
-                payload_end -= len(record)
-                out[payload_end:payload_end + len(record)] = record
-                _SLOT.pack_into(out, entry, payload_end, len(record))
+                length = len(record)
+                payload_end -= length
+                out[payload_end:payload_end + length] = record
+                entries.append(slot_pack(payload_end, length))
+        out[directory:directory + _SLOT.size * len(entries)] = b"".join(entries)
         return bytes(out)
 
     @classmethod
@@ -185,12 +207,16 @@ class SlottedPage:
         page = cls(page_id, len(raw))
         page.lsn = lsn
         directory = _COMMON.size + _SLOTTED_SUB.size
-        for slot in range(nslots):
-            offset, length = _SLOT.unpack_from(raw, directory + slot * _SLOT.size)
+        records = page._records
+        payload_bytes = 0
+        for offset, length in _SLOT.iter_unpack(
+                raw[directory:directory + nslots * _SLOT.size]):
             if offset == _TOMBSTONE:
-                page._records.append(None)
+                records.append(None)
             else:
-                page._records.append(bytes(raw[offset:offset + length]))
+                records.append(bytes(raw[offset:offset + length]))
+                payload_bytes += length
+        page._payload_bytes = payload_bytes
         return page
 
 
@@ -233,12 +259,9 @@ class BTreeNodePage:
                             len(self.keys), 0, self.next_leaf)
         cursor = _COMMON.size + self._SUB.size
         payload = self.values if self.is_leaf else self.children
-        for key in self.keys:
-            struct.pack_into("<q", out, cursor, key)
-            cursor += 8
-        for value in payload:
-            struct.pack_into("<q", out, cursor, value)
-            cursor += 8
+        words = self.keys + payload
+        if words:
+            struct.pack_into(f"<{len(words)}q", out, cursor, *words)
         return bytes(out)
 
     @classmethod
@@ -251,14 +274,14 @@ class BTreeNodePage:
         node.lsn = lsn
         node.next_leaf = next_leaf
         cursor = _COMMON.size + cls._SUB.size
-        for __ in range(nkeys):
-            node.keys.append(struct.unpack_from("<q", raw, cursor)[0])
-            cursor += 8
         count = nkeys if node.is_leaf else nkeys + 1
-        payload = []
-        for __ in range(count):
-            payload.append(struct.unpack_from("<q", raw, cursor)[0])
-            cursor += 8
+        total = nkeys + count
+        if total:
+            words = struct.unpack_from(f"<{total}q", raw, cursor)
+            node.keys = list(words[:nkeys])
+            payload = list(words[nkeys:])
+        else:
+            payload = []
         if node.is_leaf:
             node.values = payload
         else:

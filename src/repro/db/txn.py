@@ -96,9 +96,9 @@ class TransactionManager:
         self.aborts += 1
 
     def lock(self, txn: Transaction, key, mode: str = LockMode.EXCLUSIVE):
-        """Generator: 2PL acquire on behalf of ``txn``."""
+        """``yield from`` target: 2PL acquire on behalf of ``txn``."""
         self._check_active(txn)
-        yield from self.locks.acquire(txn.txn_id, key, mode)
+        return self.locks.acquire(txn.txn_id, key, mode)
 
     @staticmethod
     def _check_active(txn: Transaction) -> None:

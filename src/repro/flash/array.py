@@ -178,21 +178,34 @@ class FlashArray:
         self.counters = ArrayCounters(per_die_ops=[0] * geometry.total_dies)
 
         # Telemetry: command counters carry an origin label from the causal
-        # context; the (op, die, origin) -> Counter cache keeps the hot
-        # path at one dict probe.  The "host" column is pre-materialized
-        # for every (op, die) so per-die aggregations always see all dies,
-        # zeros included (further origins appear lazily as they occur).
+        # context; the vec handle keeps the hot path at one dict probe on
+        # the (op, die, origin) value tuple.  The "host" column is
+        # pre-materialized for every (op, die) so per-die aggregations
+        # always see all dies, zeros included (further origins appear
+        # lazily as they occur).
         self.telemetry = telemetry or MetricsRegistry()
         self.trace = trace
         dies = geometry.total_dies
-        self._tm_op_cache: Dict[tuple, Any] = {}
+        self._tm_ops = self.telemetry.counter_vec(
+            "flash.commands", ("op", "die", "origin"), layer="flash"
+        )
         for op in FLASH_OPS:
             for die in range(dies):
-                self._op_counter(op, die, "host")
+                self._tm_ops.labels(op, die, "host")
         self._tm_busy = [
             self.telemetry.counter("flash.busy_us", layer="flash", die=die)
             for die in range(dies)
         ]
+
+        self._dispatch = {
+            ReadPage: self._read,
+            ProgramPage: self._program,
+            EraseBlock: self._erase,
+            Copyback: self._copyback,
+            ReadOob: self._read_oob,
+            Identify: self._identify,
+            Pause: self._pause,
+        }
 
         self.fault_injector = FaultInjector(fault_plan, telemetry=self.telemetry)
         if read_error_rate:
@@ -256,16 +269,6 @@ class FlashArray:
 
     # -- accounting ----------------------------------------------------------------
 
-    def _op_counter(self, op: str, die: int, origin: str):
-        key = (op, die, origin)
-        counter = self._tm_op_cache.get(key)
-        if counter is None:
-            counter = self.telemetry.counter(
-                "flash.commands", layer="flash", op=op, die=die, origin=origin
-            )
-            self._tm_op_cache[key] = counter
-        return counter
-
     def _account(self, command: FlashCommand, op: str, die: int,
                  latency: float) -> None:
         """Per-command telemetry: origin-labelled counter, busy time, and
@@ -274,7 +277,7 @@ class FlashArray:
         as the raw :class:`ArrayCounters` count them."""
         ctx = command.ctx
         origin = ctx.origin if ctx is not None else "host"
-        self._op_counter(op, die, origin).inc()
+        self._tm_ops.labels(op, die, origin).inc()
         self._tm_busy[die].inc(latency)
         trace = self.trace
         if trace is not None and trace.enabled:
@@ -292,27 +295,20 @@ class FlashArray:
 
         Every command — including Pause — advances the fault injector's
         operation counter, so outage/latency windows expire even while a
-        lone operation is backing off with Pauses.
+        lone operation is backing off with Pauses.  Dispatch is an
+        exact-type table probe (with an isinstance walk as the fallback
+        for command subclasses).
         """
         self.fault_injector.tick()
-        if isinstance(command, ReadPage):
-            result = self._read(command)
-        elif isinstance(command, ProgramPage):
-            result = self._program(command)
-        elif isinstance(command, EraseBlock):
-            result = self._erase(command)
-        elif isinstance(command, Copyback):
-            result = self._copyback(command)
-        elif isinstance(command, ReadOob):
-            result = self._read_oob(command)
-        elif isinstance(command, Identify):
-            return CommandResult(command, latency_us=self.timing.cmd_overhead_us,
-                                 data=self.geometry.describe())
-        elif isinstance(command, Pause):
-            self.counters.busy_us += command.duration_us
-            return CommandResult(command, latency_us=command.duration_us)
-        else:
-            raise TypeError(f"unknown flash command: {command!r}")
+        handler = self._dispatch.get(type(command))
+        if handler is None:
+            for cls, candidate in self._dispatch.items():
+                if isinstance(command, cls):
+                    handler = candidate
+                    break
+            else:
+                raise TypeError(f"unknown flash command: {command!r}")
+        result = handler(command)
         if result.die is not None:
             factor = self.fault_injector.latency_factor(result.die)
             if factor != 1.0:
@@ -457,6 +453,14 @@ class FlashArray:
         if failed:
             raise ProgramError(dst, dst_pbn)
         return CommandResult(command, latency_us=latency, die=die)
+
+    def _identify(self, command: Identify) -> CommandResult:
+        return CommandResult(command, latency_us=self.timing.cmd_overhead_us,
+                             data=self.geometry.describe())
+
+    def _pause(self, command: Pause) -> CommandResult:
+        self.counters.busy_us += command.duration_us
+        return CommandResult(command, latency_us=command.duration_us)
 
     def _read_oob(self, command: ReadOob) -> CommandResult:
         ppn = command.ppn

@@ -33,21 +33,26 @@ class FlashCommand:
     """Base marker for all native flash commands."""
 
     # Causal context (an OpContext), stamped per instance by the executors
-    # / tag_commands via object.__setattr__.  Deliberately a plain class
-    # attribute, not a dataclass field: frozen-dataclass inheritance would
-    # force every subclass field after it to take a default, and keeping
-    # it out of the fields keeps command equality/hashing purely physical.
-    ctx = None
+    # / tag_commands via object.__setattr__ and initialised to None by
+    # __post_init__.  Deliberately a slot, not a dataclass field:
+    # frozen-dataclass inheritance would force every subclass field after
+    # it to take a default, and keeping it out of the fields keeps command
+    # equality/hashing purely physical (subclasses use slots=True, which
+    # only covers their declared fields, so the slot must live here).
+    __slots__ = ("ctx",)
+
+    def __post_init__(self):
+        object.__setattr__(self, "ctx", None)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadPage(FlashCommand):
     """PAGE READ: sense page ``ppn`` and transfer it over the channel."""
 
     ppn: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProgramPage(FlashCommand):
     """PAGE PROGRAM: transfer ``data`` and program page ``ppn``.
 
@@ -61,14 +66,14 @@ class ProgramPage(FlashCommand):
     oob: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EraseBlock(FlashCommand):
     """BLOCK ERASE of flat physical block ``pbn`` (no data transfer)."""
 
     pbn: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Copyback(FlashCommand):
     """COPYBACK PROGRAM: on-die move ``src_ppn`` -> ``dst_ppn``.
 
@@ -84,7 +89,7 @@ class Copyback(FlashCommand):
     oob: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadOob(FlashCommand):
     """Read only the OOB metadata of ``ppn`` (spare-area read).
 
@@ -94,13 +99,13 @@ class ReadOob(FlashCommand):
     ppn: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Identify(FlashCommand):
     """Device identification (the HDIO_GETGEO analogue of Section 3):
     returns the :class:`~repro.flash.geometry.Geometry` description."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Pause(FlashCommand):
     """Controller-side busy-wait: occupies no die, just time.
 
@@ -150,7 +155,7 @@ def tag_commands(operation, ctx):
                 return stop.value
 
 
-@dataclass
+@dataclass(slots=True)
 class CommandResult:
     """Outcome of one executed command."""
 

@@ -35,6 +35,32 @@ from .commands import (
 
 __all__ = ["SyncFlashDevice", "SimFlashDevice"]
 
+# Phase-model kinds, resolved once per command type (exact-type dict hit
+# on the hot path, isinstance walk only for subclasses).
+_INSTANT, _READ, _PROGRAM, _LATENCY = range(4)
+_PHASE_OF_TYPE = {
+    ReadPage: _READ,
+    ProgramPage: _PROGRAM,
+    EraseBlock: _LATENCY,
+    Copyback: _LATENCY,
+    ReadOob: _LATENCY,
+    Identify: _INSTANT,
+    Pause: _INSTANT,
+}
+
+
+def _phase_of(command) -> int:
+    kind = _PHASE_OF_TYPE.get(type(command))
+    if kind is not None:
+        return kind
+    if isinstance(command, (Identify, Pause)):
+        return _INSTANT
+    if isinstance(command, ReadPage):
+        return _READ
+    if isinstance(command, ProgramPage):
+        return _PROGRAM
+    return _LATENCY
+
 
 class SyncFlashDevice:
     """Zero-wait command execution with per-die busy-time bookkeeping.
@@ -116,6 +142,16 @@ class SimFlashDevice:
         self._tm_service = self.telemetry.histogram(
             "flash.service_us", layer="flash"
         )
+        # TimingSpec is frozen, so the per-phase delays are constants of
+        # this device; computing them per command showed up in profiles.
+        timing = array.timing
+        page_bytes = self.geometry.page_bytes
+        self._read_sense_us = timing.cmd_overhead_us + timing.read_us
+        self._page_transfer_us = timing.transfer_us(page_bytes)
+        self._program_transfer_us = (
+            timing.cmd_overhead_us + self._page_transfer_us
+        )
+        self._program_cell_us = timing.program_us
 
     @property
     def counters(self):
@@ -130,7 +166,8 @@ class SimFlashDevice:
 
     def execute(self, command: FlashCommand):
         """DES generator executing one command with resource contention."""
-        if isinstance(command, (Identify, Pause)):
+        kind = _phase_of(command)
+        if kind == _INSTANT:
             result = self.array.apply(command)
             yield self.sim.timeout(result.latency_us)
             return result
@@ -155,28 +192,22 @@ class SimFlashDevice:
             # State transition happens when the die starts the command;
             # per-die FIFO queuing makes this consistent with issue order.
             result = self.array.apply(command)
-            timing = self.array.timing
-            page_bytes = self.geometry.page_bytes
             channel = self.channel_resources[self.geometry.channel_of_die(die)]
-            if isinstance(command, ReadPage):
-                yield self.sim.timeout(timing.cmd_overhead_us + timing.read_us)
+            if kind == _READ:
+                yield self.sim.timeout(self._read_sense_us)
                 yield channel.request()
                 try:
-                    yield self.sim.timeout(timing.transfer_us(page_bytes))
+                    yield self.sim.timeout(self._page_transfer_us)
                 finally:
                     channel.release()
-            elif isinstance(command, ProgramPage):
+            elif kind == _PROGRAM:
                 yield channel.request()
                 try:
-                    yield self.sim.timeout(
-                        timing.cmd_overhead_us + timing.transfer_us(page_bytes)
-                    )
+                    yield self.sim.timeout(self._program_transfer_us)
                 finally:
                     channel.release()
-                yield self.sim.timeout(timing.program_us)
-            elif isinstance(command, (EraseBlock, Copyback, ReadOob)):
-                yield self.sim.timeout(result.latency_us)
-            else:  # pragma: no cover - exhaustive above
+                yield self.sim.timeout(self._program_cell_us)
+            else:  # erase / copyback / OOB: die busy, no user-data transfer
                 yield self.sim.timeout(result.latency_us)
             # Injected latency spikes: the array reports the extra service
             # time; the die stays busy for it in simulated time too.

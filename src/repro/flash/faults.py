@@ -164,7 +164,12 @@ class FaultInjector:
         self.ops = 0
         #: (op_index, kind, detail) per firing — the determinism witness.
         self.events: List[Tuple[int, str, tuple]] = []
-        self._counters = {}
+        self._tm_fired = (
+            telemetry.counter_vec(
+                "flash.faults.injected", ("kind", "die"), layer="flash"
+            )
+            if telemetry is not None else None
+        )
 
     # -- plan maintenance -------------------------------------------------------
 
@@ -207,14 +212,8 @@ class FaultInjector:
         kind = live.spec.kind
         die = detail[0] if detail else None
         self.events.append((self.ops, kind, detail))
-        if self.telemetry is not None:
-            key = (kind, die)
-            counter = self._counters.get(key)
-            if counter is None:
-                counter = self._counters[key] = self.telemetry.counter(
-                    "flash.faults.injected", layer="flash", kind=kind, die=die
-                )
-            counter.inc()
+        if self._tm_fired is not None:
+            self._tm_fired.labels(kind, die).inc()
 
     def _roll(self, live: _LiveSpec) -> bool:
         if live.spec.rate is None:
@@ -234,6 +233,8 @@ class FaultInjector:
         """Raise for a read-class access (READ PAGE, OOB read, the read
         leg of COPYBACK).  Outage first — the die never saw the command —
         then media faults."""
+        if not self._live:
+            return
         self._check_outage(die)
         for live in self._live:
             if live.spec.kind not in _READ_KINDS:
@@ -247,6 +248,8 @@ class FaultInjector:
     def check_program(self, ppn: int, pbn: int, die: int) -> bool:
         """True when this PAGE PROGRAM must fail (page consumed, corrupt).
         Raises :class:`DieOutageError` first when the die is out."""
+        if not self._live:
+            return False
         self._check_outage(die)
         for live in self._live:
             if live.spec.kind != "program_fail":
@@ -258,6 +261,8 @@ class FaultInjector:
 
     def check_erase(self, pbn: int, die: int) -> bool:
         """True when this BLOCK ERASE must fail (block goes bad)."""
+        if not self._live:
+            return False
         self._check_outage(die)
         for live in self._live:
             if live.spec.kind != "erase_fail":
@@ -272,6 +277,8 @@ class FaultInjector:
 
         Each slowed command is recorded as a ``latency_spike`` firing so
         the event log and telemetry show the window actually hit."""
+        if not self._live:
+            return 1.0
         factor = 1.0
         for live in self._live:
             if live.spec.kind != "latency_spike":

@@ -4,14 +4,30 @@ Stands in for the paper's real-time Linux-kernel flash emulator: same role
 (precise, configurable I/O timing), but deterministic and host-independent.
 """
 
-from .core import AllOf, AnyOf, Event, Interrupt, Process, Simulator, Timeout
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Granted,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
 from .resources import Resource, Store
-from .stats import LatencyRecorder, RunningStats, TimeWeightedValue, percentile
+from .stats import (
+    LatencyRecorder,
+    RunningStats,
+    TimeWeightedValue,
+    percentile,
+    percentiles,
+)
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
+    "Granted",
     "Interrupt",
     "Process",
     "Simulator",
@@ -22,4 +38,5 @@ __all__ = [
     "RunningStats",
     "TimeWeightedValue",
     "percentile",
+    "percentiles",
 ]

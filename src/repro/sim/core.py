@@ -9,11 +9,29 @@ deterministic notion of latency.
 The paper's evaluation platform is a real-time Linux-kernel flash emulator
 with ~1 microsecond precision; this kernel plays the same role with exactly
 reproducible timing (see DESIGN.md section 2).
+
+Scheduling is split across two structures with one total order:
+
+* a binary heap of ``(time, seq, event)`` for events in the future, and
+* a FIFO *fast lane* (a deque) for **immediate** events — zero-delay
+  timeouts, ``succeed``/``fail`` calls, process starts and resumptions —
+  which would otherwise pay a heap push + pop just to fire at the
+  current time.  Most events in a flash/DBMS rig are immediate (resource
+  grants, store hand-offs, completion events), so this is the kernel's
+  hot path.
+
+Both lanes share the global ``seq`` counter and the dispatcher always
+picks the lowest ``(time, seq)`` across them, so the firing order is
+**bit-identical** to a single heap ordered by ``(time, seq)`` — the
+determinism tests pin this with golden runs recorded against the
+pre-fast-lane kernel.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
+from collections import deque
 from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
@@ -22,11 +40,34 @@ __all__ = [
     "Process",
     "AnyOf",
     "AllOf",
+    "Granted",
     "Interrupt",
     "Simulator",
 ]
 
 _UNSET = object()
+
+
+class Granted:
+    """A pre-completed ``yield from`` target.
+
+    Delegating to it returns ``value`` immediately without suspending the
+    process — the allocation-light fast path for operations that turn out
+    to complete synchronously (an uncontended lock, a buffer-pool hit).
+    Unlike a generator that returns before its first yield, iterating it
+    costs no generator frame; instances are stateless and reusable.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None):
+        self.value = value
+
+    def __iter__(self) -> "Granted":
+        return self
+
+    def __next__(self):
+        raise StopIteration(self.value)
 
 
 class Interrupt(Exception):
@@ -48,6 +89,8 @@ class Event:
     :meth:`fail`) schedules it, and once the simulator processes it every
     registered callback runs exactly once.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -78,7 +121,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _UNSET:
             raise RuntimeError("event already triggered")
         self._value = value
         self.sim._schedule(self)
@@ -86,7 +129,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception; waiters will see it raised."""
-        if self.triggered:
+        if self._value is not _UNSET:
             raise RuntimeError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -99,11 +142,15 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` simulated time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self.delay = delay
         sim._schedule(self, delay)
 
@@ -116,17 +163,29 @@ class Process(Event):
     back into the generator (or its exception thrown in).
     """
 
+    __slots__ = ("_generator", "_waiting_on", "_pending_resume",
+                 "_send", "_throw", "_resume_cb")
+
     def __init__(self, sim: "Simulator", generator: Generator):
         super().__init__(sim)
         if not hasattr(generator, "send"):
             raise TypeError(f"process requires a generator, got {generator!r}")
         self._generator = generator
+        # Bound methods resolved once: each attribute access would build a
+        # fresh bound-method object, and these run once per resumption.
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         self._waiting_on: Optional[Event] = None
-        # Kick off the process at the current simulation time.
-        init = Event(sim)
-        init._value = None
-        sim._schedule(init)
-        init.callbacks.append(self._resume)
+        # A live fast-lane resumption entry (see _schedule_resume); kept
+        # so interrupt() can cancel it.  The start-up resume below is
+        # deliberately *not* cancellable: interrupting a process that has
+        # not run yet starts it first, then interrupts — the pre-fast-lane
+        # semantics.
+        self._pending_resume: Optional[list] = None
+        # Kick off the process at the current simulation time, without
+        # allocating a bootstrap Event.
+        sim._schedule_resume(self, True, None)
 
     @property
     def is_alive(self) -> bool:
@@ -138,63 +197,74 @@ class Process(Event):
             raise RuntimeError("cannot interrupt a finished process")
         if self._waiting_on is not None and self._waiting_on.callbacks is not None:
             try:
-                self._waiting_on.callbacks.remove(self._resume)
+                self._waiting_on.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
             self._waiting_on = None
+        if self._pending_resume is not None:
+            # The process was about to resume from an already-processed
+            # event; the interrupt supersedes that value.
+            self._pending_resume[1] = None
+            self._pending_resume = None
         wakeup = Event(self.sim)
         wakeup._ok = False
         wakeup._value = Interrupt(cause)
         self.sim._schedule(wakeup)
-        wakeup.callbacks.append(self._resume)
+        wakeup.callbacks.append(self._resume_cb)
 
     def _resume(self, event: Event) -> None:
+        self._resume_inner(event._ok, event._value)
+
+    def _resume_inner(self, ok: bool, value: Any) -> None:
         self._waiting_on = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
-            if event._ok:
-                target = self._generator.send(event._value)
+            if ok:
+                target = self._send(value)
             else:
-                target = self._generator.throw(event._value)
+                target = self._throw(value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self.succeed(stop.value)
             return
         except Interrupt as exc:
             # An uncaught interrupt terminates the process abnormally.
-            self.sim._active_process = None
+            sim._active_process = None
             self._ok = False
             self._value = exc
-            self.sim._schedule(self)
+            sim._schedule(self)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             self._ok = False
             self._value = exc
-            self.sim._schedule(self)
+            sim._schedule(self)
             if not self.callbacks:
                 raise
             return
-        self.sim._active_process = None
-        if not isinstance(target, Event):
+        sim._active_process = None
+        try:
+            callbacks = target.callbacks
+        except AttributeError:
             raise TypeError(
                 f"process yielded {target!r}; processes must yield Event objects"
+            ) from None
+        if callbacks is None:
+            # Already processed: resume at the current time via the fast
+            # lane, carrying the value directly — no proxy Event.
+            self._pending_resume = sim._schedule_resume(
+                self, target._ok, target._value
             )
-        if target.callbacks is None:
-            # Already processed: resume immediately at the current time.
-            proxy = Event(self.sim)
-            proxy._ok = target._ok
-            proxy._value = target._value
-            self.sim._schedule(proxy)
-            proxy.callbacks.append(self._resume)
-            self._waiting_on = proxy
         else:
-            target.callbacks.append(self._resume)
+            callbacks.append(self._resume_cb)
             self._waiting_on = target
 
 
 class _Condition(Event):
     """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("_events", "_fired")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -213,11 +283,31 @@ class _Condition(Event):
         if self.triggered:
             return
         if not event._ok:
+            self._detach_losers(event)
             self.fail(event._value)
             return
         self._fired[event] = event._value
         if self._satisfied():
+            self._detach_losers(event)
             self.succeed(dict(self._fired))
+
+    def _detach_losers(self, firing: Event) -> None:
+        """Remove our callback from children that have not fired yet.
+
+        Once the condition has its value, the losing children's
+        ``_on_fire`` references are dead weight: on long-lived events
+        (e.g. a Store get raced against a timeout in a loop) they would
+        otherwise accumulate without bound."""
+        on_fire = self._on_fire
+        for child in self._events:
+            if child is firing:
+                continue
+            callbacks = child.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(on_fire)
+                except ValueError:
+                    pass
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -226,6 +316,8 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Fires as soon as any child event fires; value maps event -> value."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return len(self._fired) >= 1
 
@@ -233,18 +325,29 @@ class AnyOf(_Condition):
 class AllOf(_Condition):
     """Fires once all child events have fired; value maps event -> value."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return len(self._fired) == len(self._events)
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, event) triples."""
+    """The event loop: a future heap plus an immediate FIFO fast lane.
+
+    Entries carry a global sequence number; the dispatcher always fires
+    the lowest ``(time, seq)`` across both lanes, which makes the order
+    identical to the classic single-heap implementation.
+    """
 
     def __init__(self):
         self._now = 0.0
-        self._queue: list = []
+        self._queue: list = []   # (when, seq, event) heap — future events
+        self._fast: deque = deque()  # immediate lane, see _schedule
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Events dispatched so far — the wall-clock perf harness divides
+        #: this by host seconds to get the events/sec figure.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -275,11 +378,54 @@ class Simulator:
     # -- scheduling / running ------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue ``event`` to fire ``delay`` time units from now.
+
+        Zero-delay events take the FIFO fast lane: they fire at the
+        current time anyway, so the heap's ordering work is wasted on
+        them.  Sequence numbers keep the two lanes in one total order.
+        """
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        if delay == 0.0:
+            self._fast.append((self._seq, event))
+        else:
+            heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def _schedule_resume(self, process: Process, ok: bool, value: Any) -> list:
+        """Fast-lane entry resuming ``process`` directly with ``(ok,
+        value)`` — the no-allocation replacement for the old proxy Event
+        used when a process yields an already-processed event.  Returns
+        the (mutable) entry so :meth:`Process.interrupt` can cancel it by
+        nulling the process slot."""
+        self._seq += 1
+        entry = [self._seq, process, ok, value]
+        self._fast.append(entry)
+        return entry
+
+    def _fast_head_is_next(self) -> bool:
+        """True when the fast lane holds the lowest (time, seq) entry."""
+        if not self._fast:
+            return False
+        if not self._queue:
+            return True
+        head = self._queue[0]
+        return head[0] > self._now or head[1] > self._fast[0][0]
 
     def step(self) -> None:
-        """Process the single next event."""
+        """Process the single next event (lowest (time, seq) across lanes)."""
+        self.events_processed += 1
+        if self._fast_head_is_next():
+            entry = self._fast.popleft()
+            if len(entry) == 2:
+                event = entry[1]
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+            else:
+                process = entry[1]
+                if process is not None:
+                    process._pending_resume = None
+                    process._resume_inner(entry[2], entry[3])
+            return
         when, __, event = heapq.heappop(self._queue)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
@@ -287,15 +433,55 @@ class Simulator:
             callback(event)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or simulated time reaches ``until``."""
+        """Run until the queues drain or simulated time reaches ``until``.
+
+        This is the hot loop of every bench: the dispatch logic of
+        :meth:`step` is inlined here (locals bound once, no per-event
+        method call), firing identically ordered events.
+        """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
-                self._now = until
-                return
-            self.step()
+        queue = self._queue
+        fast = self._fast
+        heappop = heapq.heappop
+        limit = math.inf if until is None else until
+        # ``_now`` only advances at heap pops inside this very loop, so a
+        # local mirror is safe and saves an attribute load per event.
+        now = self._now
+        dispatched = 0
+        try:
+            while True:
+                if fast:
+                    head = queue[0] if queue else None
+                    if head is None or head[0] > now \
+                            or head[1] > fast[0][0]:
+                        entry = fast.popleft()
+                        dispatched += 1
+                        if len(entry) == 2:
+                            event = entry[1]
+                            callbacks, event.callbacks = event.callbacks, None
+                            for callback in callbacks:
+                                callback(event)
+                        else:
+                            process = entry[1]
+                            if process is not None:
+                                process._pending_resume = None
+                                process._resume_inner(entry[2], entry[3])
+                        continue
+                elif not queue:
+                    break
+                when = queue[0][0]
+                if when > limit:
+                    self._now = until
+                    return
+                __, __, event = heappop(queue)
+                self._now = now = when
+                dispatched += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+        finally:
+            self.events_processed += dispatched
         if until is not None:
             self._now = until
 
@@ -307,9 +493,10 @@ class Simulator:
         have pending events afterwards; resume them with :meth:`run`.
         """
         proc = self.process(generator)
-        while not proc.triggered and self._queue:
-            self.step()
-        if not proc.triggered:
+        step = self.step
+        while proc._value is _UNSET and (self._queue or self._fast):
+            step()
+        if proc._value is _UNSET:
             raise RuntimeError("process did not finish (deadlock?)")
         if not proc._ok:
             raise proc._value

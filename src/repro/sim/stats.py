@@ -7,19 +7,18 @@ import random
 import zlib
 from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["RunningStats", "LatencyRecorder", "percentile", "TimeWeightedValue"]
+__all__ = [
+    "RunningStats",
+    "LatencyRecorder",
+    "percentile",
+    "percentiles",
+    "TimeWeightedValue",
+]
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile ``q`` in [0, 100] of ``values``.
-
-    Matches numpy's default ('linear') method, without the dependency.
-    """
-    if not values:
-        raise ValueError("percentile of empty sequence")
+def _percentile_of_sorted(ordered: Sequence[float], q: float) -> float:
     if not 0 <= q <= 100:
         raise ValueError(f"q must be in [0, 100], got {q}")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100.0) * (len(ordered) - 1)
@@ -29,6 +28,26 @@ def percentile(values: Sequence[float], q: float) -> float:
         return ordered[low]
     frac = rank - low
     return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of ``values``.
+
+    Matches numpy's default ('linear') method, without the dependency.
+    For several percentiles of the same series use :func:`percentiles`,
+    which sorts once.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    return _percentile_of_sorted(sorted(values), q)
+
+
+def percentiles(values: Sequence[float], qs: Sequence[float]) -> List[float]:
+    """Like :func:`percentile` for several ``qs`` with a single sort."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    return [_percentile_of_sorted(ordered, q) for q in qs]
 
 
 class RunningStats:
@@ -131,14 +150,15 @@ class LatencyRecorder:
     def summary(self) -> dict:
         if not self.samples:
             return {"name": self.name, "count": 0}
+        p50, p95, p99, p999 = percentiles(self.samples, (50, 95, 99, 99.9))
         out = {
             "name": self.name,
             "count": self.count,
             "mean": self.mean,
-            "p50": self.pct(50),
-            "p95": self.pct(95),
-            "p99": self.pct(99),
-            "p999": self.pct(99.9),
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
+            "p999": p999,
             "max": self.maximum,
         }
         if self.max_samples is not None and self.count > len(self.samples):

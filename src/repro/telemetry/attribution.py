@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from ..sim.stats import percentile
+from ..sim.stats import percentiles
 from .context import MAINTENANCE_ORIGINS
 
 __all__ = [
@@ -96,7 +96,9 @@ def blame_breakdown(
     if not ops:
         return {"op": op, "count": 0}
     latencies = [float(e.get("elapsed_us", 0.0)) for e in ops]
-    threshold = percentile(latencies, tail_pct)
+    threshold, p50, p99, p999 = percentiles(
+        latencies, (tail_pct, 50, 99, 99.9)
+    )
     tail = [e for e in ops if float(e.get("elapsed_us", 0.0)) >= threshold]
 
     def mean_buckets(group: List[dict]) -> Dict[str, float]:
@@ -115,9 +117,9 @@ def blame_breakdown(
         "op": op,
         "count": len(ops),
         "mean_us": sum(latencies) / len(latencies),
-        "p50_us": percentile(latencies, 50),
-        "p99_us": percentile(latencies, 99),
-        "p999_us": percentile(latencies, 99.9),
+        "p50_us": p50,
+        "p99_us": p99,
+        "p999_us": p999,
         "max_us": max(latencies),
         "tail_pct": tail_pct,
         "tail_threshold_us": threshold,

@@ -46,6 +46,9 @@ ORIGINS = (
     "recovery",
 )
 
+#: Frozen view of ORIGINS for the per-construction membership check.
+_ORIGIN_SET = frozenset(ORIGINS)
+
 #: Origins whose work exists only to manage the media.  Time spent in
 #: (or queued behind) these is the "GC-blamed" share of a latency.
 MAINTENANCE_ORIGINS = frozenset(
@@ -80,7 +83,7 @@ class OpContext:
         die: Optional[int] = None,
         parent: Optional["OpContext"] = None,
     ):
-        if origin not in ORIGINS:
+        if origin not in _ORIGIN_SET:
             raise ValueError(f"unknown origin {origin!r}")
         self.origin = origin
         self.txn_id = txn_id

@@ -27,7 +27,15 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..sim.stats import LatencyRecorder
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "LabelSet"]
+__all__ = [
+    "Counter",
+    "CounterVec",
+    "Gauge",
+    "Histogram",
+    "HistogramVec",
+    "MetricsRegistry",
+    "LabelSet",
+]
 
 #: Canonical (sorted) label representation used as part of instrument keys.
 LabelSet = Tuple[Tuple[str, object], ...]
@@ -121,6 +129,73 @@ class Histogram:
         return {"name": self.name, "labels": dict(self.labels), **summary}
 
 
+class _Vec:
+    """Pre-resolved family handle for one instrument name.
+
+    The per-command hot paths (flash accounting, fault bookkeeping,
+    executor cost charging) used to call ``registry.counter(name,
+    **labels)`` per event, paying keyword packing + ``sorted(...)`` label
+    canonicalisation every time.  A vec binds the variable label *names*
+    once at wiring time; :meth:`labels` then takes the label *values*
+    positionally and caches the resolved instrument under that value
+    tuple, so the steady-state cost is one dict lookup.
+
+    Instruments come from the owning registry's get-or-create tables, so
+    vec-resolved and keyword-resolved handles for the same (name, labels)
+    are the same object — snapshots and aggregation queries see no
+    difference.
+    """
+
+    __slots__ = ("_registry", "_name", "_label_names", "_static", "_cache")
+
+    #: bound get-or-create method name on MetricsRegistry
+    _kind = ""
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 label_names: Tuple[str, ...], static: Dict[str, object]):
+        self._registry = registry
+        self._name = name
+        self._label_names = label_names
+        self._static = static
+        self._cache: dict = {}
+
+    def labels(self, *values):
+        """Resolve the instrument for these positional label values."""
+        instrument = self._cache.get(values)
+        if instrument is None:
+            if len(values) != len(self._label_names):
+                raise ValueError(
+                    f"{self._name}: expected {len(self._label_names)} label "
+                    f"values {self._label_names}, got {len(values)}"
+                )
+            labels = dict(zip(self._label_names, values))
+            labels.update(self._static)
+            resolve = getattr(self._registry, self._kind)
+            instrument = self._cache[values] = resolve(self._name, **labels)
+        return instrument
+
+
+class CounterVec(_Vec):
+    """Counter family with positional, cached label resolution."""
+
+    __slots__ = ()
+    _kind = "counter"
+
+    def inc(self, *values, amount=1) -> None:
+        self.labels(*values).inc(amount)
+
+
+class HistogramVec(_Vec):
+    """Histogram family with positional, cached label resolution."""
+
+    __slots__ = ()
+    _kind = "histogram"
+
+    def observe(self, *values_then_sample) -> None:
+        *values, sample = values_then_sample
+        self.labels(*values).observe(sample)
+
+
 class MetricsRegistry:
     """Get-or-create registry of labelled counters, gauges and histograms.
 
@@ -185,6 +260,18 @@ class MetricsRegistry:
                 name, key, max_samples=self.histogram_max_samples
             )
         return instrument
+
+    def counter_vec(self, name: str, label_names: Iterable[str],
+                    **static) -> CounterVec:
+        """Pre-resolved counter family: bind ``label_names`` (and any
+        constant ``static`` labels) once, then ``vec.labels(v1, v2)``
+        resolves with a single tuple-keyed dict lookup.  See :class:`_Vec`."""
+        return CounterVec(self, name, tuple(label_names), static)
+
+    def histogram_vec(self, name: str, label_names: Iterable[str],
+                      **static) -> HistogramVec:
+        """Pre-resolved histogram family; see :meth:`counter_vec`."""
+        return HistogramVec(self, name, tuple(label_names), static)
 
     # -- aggregation ----------------------------------------------------------
 

@@ -83,9 +83,14 @@ def run_workload(
     rng: Optional[random.Random] = None,
     max_retries: int = 5,
     warmup_us: float = 0.0,
+    preloaded: bool = False,
 ) -> WorkloadStats:
-    """Load (if the DB is empty of this workload's tables), run terminals
-    for ``duration_us`` of simulated time, return the metered stats.
+    """Load the database, run terminals for ``duration_us`` of simulated
+    time, return the metered stats.
+
+    ``preloaded=True`` skips the load phase — for callers (like the perf
+    harness) that ran ``workload.load(db)`` themselves, e.g. to keep it
+    out of a wall-clock measurement window.
 
     The caller is responsible for having started db-writers (or not) —
     that choice is the subject of Figure 4.
@@ -97,7 +102,8 @@ def run_workload(
     rng = rng or random.Random(0)
     stats = WorkloadStats()
 
-    sim.run_process(workload.load(db))
+    if not preloaded:
+        sim.run_process(workload.load(db))
 
     start_at = sim.now + warmup_us
     end_at = start_at + duration_us

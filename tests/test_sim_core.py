@@ -1,8 +1,10 @@
 """Unit tests for the DES kernel (repro.sim.core)."""
 
+import random
+
 import pytest
 
-from repro.sim import AnyOf, Interrupt, Simulator
+from repro.sim import AnyOf, Granted, Interrupt, Resource, Simulator, Store
 
 
 def test_timeout_advances_clock():
@@ -244,9 +246,64 @@ def test_yield_non_event_raises():
         sim.run()
 
 
-def test_determinism_same_seed_same_schedule():
-    import random
+def test_anyof_detaches_callbacks_from_losing_events():
+    """A long-lived event raced against timeouts in a loop must not
+    accumulate one dead condition callback per race (the leak)."""
+    sim = Simulator()
+    gate = sim.event()
 
+    def racer():
+        for __ in range(50):
+            fired = yield AnyOf(sim, [gate, sim.timeout(1)])
+            assert gate not in fired
+
+    sim.run_process(racer())
+    assert gate.callbacks == []
+
+
+def test_anyof_detaches_losers_on_failure():
+    sim = Simulator()
+    survivor = sim.event()
+
+    def proc():
+        doomed = sim.event()
+        condition = AnyOf(sim, [survivor, doomed])
+        doomed.fail(ValueError("boom"))
+        try:
+            yield condition
+        except ValueError:
+            return "failed"
+
+    assert sim.run_process(proc()) == "failed"
+    assert survivor.callbacks == []
+
+
+def test_granted_returns_value_without_suspending():
+    sim = Simulator()
+
+    def proc():
+        before = sim.now
+        value = yield from Granted("instant")
+        assert sim.now == before  # no event fired, no time passed
+        empty = yield from Granted()
+        return value, empty
+
+    assert sim.run_process(proc()) == ("instant", None)
+
+
+def test_granted_is_reusable():
+    sim = Simulator()
+    shared = Granted(7)
+
+    def proc():
+        first = yield from shared
+        second = yield from shared
+        return first + second
+
+    assert sim.run_process(proc()) == 14
+
+
+def test_determinism_same_seed_same_schedule():
     def build_and_run():
         sim = Simulator()
         rng = random.Random(7)
@@ -263,3 +320,153 @@ def test_determinism_same_seed_same_schedule():
         return trace
 
     assert build_and_run() == build_and_run()
+
+
+# -- golden-run determinism ---------------------------------------------------
+#
+# The scenario below exercises every scheduling path of the kernel; the
+# constants were captured once and must never change: any kernel
+# optimization (fast lane, proxy elimination, dispatch inlining, ...)
+# has to fire the exact same events in the exact same order at the exact
+# same simulated times.  If an intentional *semantic* change ever breaks
+# this, recapture the constants and justify the diff in review.
+
+KERNEL_GOLDEN_NOW = 1000.0
+KERNEL_GOLDEN_LOG = [
+    (1.0, 'w2:slept'),
+    (1.0, 'jitter'),
+    (1.0, 'w2:acquired'),
+    (2.0, 'jitter'),
+    (2.0, "race=['fast']"),
+    (4.0, 'w0:slept'),
+    (4.0, 'w1:slept'),
+    (4.0, 'jitter'),
+    (4.0, 'w0:acquired'),
+    (4.0, 'w2:zero'),
+    (5.0, 'g0:gate=open'),
+    (5.0, 'g1:gate=open'),
+    (5.0, 'r0:got=first'),
+    (5.0, 'r1:got=second'),
+    (5.0, 'g0:again=open'),
+    (5.0, 'g1:again=open'),
+    (6.0, 'jitter'),
+    (6.0, 'caught:boom'),
+    (6.0, "all=['a', 'b']"),
+    (6.0, 'jitter'),
+    (7.0, 'interrupted:now'),
+    (7.0, 'w1:acquired'),
+    (7.0, 'w0:zero'),
+    (8.0, 'jitter'),
+    (10.0, 'w1:zero'),
+]
+
+
+def kernel_scenario():
+    """A deterministic scenario exercising every scheduling path of the
+    kernel: zero-delay and delayed timeouts, succeed/fail events, yields
+    on already-processed events, AnyOf/AllOf, interrupts, FIFO resources
+    and stores.  Returns the exact (time, tag) firing order."""
+    sim = Simulator()
+    log = []
+    gate = sim.event()
+    resource = Resource(sim, capacity=1)
+    store = Store(sim)
+
+    def worker(name, delay):
+        yield sim.timeout(delay)
+        log.append((sim.now, f"{name}:slept"))
+        yield resource.request()
+        log.append((sim.now, f"{name}:acquired"))
+        yield sim.timeout(3)
+        resource.release()
+        yield sim.timeout(0)
+        log.append((sim.now, f"{name}:zero"))
+
+    def opener():
+        yield sim.timeout(5)
+        gate.succeed("open")
+        store.put("first")
+        store.put("second")
+
+    def gate_waiter(name):
+        value = yield gate
+        log.append((sim.now, f"{name}:gate={value}"))
+        # gate is already processed from here on: the re-yield path
+        again = yield gate
+        log.append((sim.now, f"{name}:again={again}"))
+
+    def store_reader(name):
+        item = yield store.get()
+        log.append((sim.now, f"{name}:got={item}"))
+
+    def racer():
+        fast = sim.timeout(2, value="fast")
+        slow = sim.timeout(50, value="slow")
+        fired = yield AnyOf(sim, [fast, slow])
+        log.append((sim.now, f"race={sorted(fired.values())}"))
+        both = yield sim.all_of([sim.timeout(1, value="a"),
+                                 sim.timeout(4, value="b")])
+        log.append((sim.now, f"all={sorted(both.values())}"))
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt as exc:
+            log.append((sim.now, f"interrupted:{exc.cause}"))
+
+    def interrupter(target):
+        yield sim.timeout(7)
+        target.interrupt("now")
+
+    def failer():
+        yield sim.timeout(6)
+        doomed = sim.event()
+        doomed.fail(ValueError("boom"))
+        try:
+            yield doomed
+        except ValueError as exc:
+            log.append((sim.now, f"caught:{exc}"))
+
+    for index, delay in enumerate((4, 4, 1)):
+        sim.process(worker(f"w{index}", delay))
+    sim.process(opener())
+    sim.process(gate_waiter("g0"))
+    sim.process(gate_waiter("g1"))
+    sim.process(store_reader("r0"))
+    sim.process(store_reader("r1"))
+    sim.process(racer())
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.process(failer())
+    rng = random.Random(13)
+
+    def jitter():
+        for __ in range(6):
+            yield sim.timeout(rng.choice((0, 1, 2)))
+            log.append((sim.now, "jitter"))
+
+    sim.process(jitter())
+    sim.run()
+    return sim.now, log
+
+
+def test_kernel_golden_run_matches_recorded_schedule():
+    now, log = kernel_scenario()
+    assert now == KERNEL_GOLDEN_NOW
+    assert log == KERNEL_GOLDEN_LOG
+
+
+def test_kernel_golden_run_is_repeatable():
+    assert kernel_scenario() == kernel_scenario()
+
+
+def test_events_processed_counts_dispatches():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(0)
+        yield sim.timeout(1)
+
+    sim.run_process(proc())
+    # startup resume + zero-delay timeout + delayed timeout
+    assert sim.events_processed == 3

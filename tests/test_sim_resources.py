@@ -154,6 +154,19 @@ class TestStats:
         with pytest.raises(ValueError):
             percentile([1], 101)
 
+    def test_percentiles_batch_matches_singles(self):
+        from repro.sim import percentiles
+
+        values = [9, 1, 5, 3, 7, 2, 8]
+        qs = (0, 25, 50, 95, 99.9, 100)
+        assert percentiles(values, qs) == [percentile(values, q) for q in qs]
+
+    def test_percentiles_batch_empty_raises(self):
+        from repro.sim import percentiles
+
+        with pytest.raises(ValueError):
+            percentiles([], (50,))
+
     def test_running_stats_mean_and_extrema(self):
         stats = RunningStats()
         stats.extend([2, 4, 6])
