@@ -14,13 +14,14 @@ Public surface:
 
 from .badblock import BadBlockManager, DegradedModeError
 from .config import NoFTLConfig
-from .manager import NoFTLStorageManager
+from .manager import MountReport, NoFTLStorageManager
 from .regions import Region, RegionManager
 from .storage import NoFTLStorage, SyncNoFTLStorage
 
 __all__ = [
     "BadBlockManager",
     "DegradedModeError",
+    "MountReport",
     "NoFTLConfig",
     "NoFTLStorageManager",
     "Region",

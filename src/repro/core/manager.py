@@ -26,19 +26,51 @@ All flash-touching methods are command generators; run them through a
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
 
 from ..flash.commands import ReadOob
 from ..flash.errors import ReadUnwrittenError, UncorrectableError
 from ..flash.geometry import Geometry
-from ..ftl.base import FTLStats, MappingState
+from ..ftl.base import UNMAPPED, FTLStats, MappingState
 from ..ftl.pagespace import PageMappedSpace
 from ..telemetry import EventTrace, MetricsRegistry
 from .badblock import BadBlockManager
 from .config import NoFTLConfig
 from .regions import RegionManager
 
-__all__ = ["NoFTLStorageManager"]
+__all__ = ["MountReport", "NoFTLStorageManager"]
+
+
+@dataclass
+class MountReport:
+    """What a cold-start OOB scan found and rebuilt.
+
+    Everything here is derived from the flash itself — the whole point of
+    the mount path is that no pre-crash host RAM survives to consult.
+    """
+
+    pages_scanned: int = 0          # every ppn probed with an OOB read
+    mappings: int = 0               # logical pages adopted into l2p
+    torn_pages: int = 0             # OOB reads failing ECC/CRC (rejected)
+    duplicate_ties: int = 0         # equal (lpn, seq) pairs resolved
+    programmed_blocks: int = 0      # blocks holding >= 1 programmed page
+    quarantined_blocks: tuple = ()  # blocks retired on unreadable evidence
+    max_seq: int = 0                # highest write sequence adopted
+    max_lpn: int = -1               # highest mapped logical page
+    mapped_lpns: frozenset = field(default_factory=frozenset)
+
+    def snapshot(self) -> dict:
+        return {
+            "pages_scanned": self.pages_scanned,
+            "mappings": self.mappings,
+            "torn_pages": self.torn_pages,
+            "duplicate_ties": self.duplicate_ties,
+            "programmed_blocks": self.programmed_blocks,
+            "quarantined_blocks": sorted(self.quarantined_blocks),
+            "max_seq": self.max_seq,
+            "max_lpn": self.max_lpn,
+        }
 
 
 class NoFTLStorageManager:
@@ -178,24 +210,59 @@ class NoFTLStorageManager:
     def recover(self):
         """Generator: rebuild the mapping table from OOB metadata.
 
-        A cold start after a crash scans every page's spare area (cheap
-        OOB reads), keeping the highest write sequence number per logical
-        page.  This is the NoFTL answer to "where does the mapping live
-        if the host crashes" — the flash itself carries it.
-        Returns the number of mappings recovered.
+        Compatibility wrapper over :meth:`mount`; returns the number of
+        mappings recovered.
         """
+        report = yield from self.mount()
+        return report.mappings
+
+    def mount(self):
+        """Generator: full cold-start pipeline from nothing but the array.
+
+        A cold start after a crash scans every page's spare area (cheap
+        OOB reads) and rebuilds *all* host-RAM state from what it finds —
+        this is the NoFTL answer to "where does the mapping live if the
+        host crashes": the flash itself carries it.  Per page:
+
+        * the OOB read is checksum-verified by the array, so a torn page
+          (power cut mid-program, half-erased block, silent corruption)
+          raises :class:`UncorrectableError` and is *rejected* — the
+          mapping falls back to the newest intact copy and the WAL redo
+          above reapplies whatever the torn page held;
+        * the newest ``(lpn, seq)`` wins; exact ties — routine after an
+          interrupted GC, because copyback preserves the source OOB —
+          are broken deterministically toward the lowest ppn (both copies
+          passed ECC, so their payloads are identical);
+        * blocks with unreadable pages are quarantine evidence: they are
+          reported grown-bad and kept out of the rebuilt pools, instead
+          of trusting pre-crash ``suspect``/``quarantined`` host state
+          that no longer exists.
+
+        Allocation state (pools, occupied, active points) is rebuilt from
+        the same scan, and the returned :class:`MountReport` carries what
+        the db layer needs to restart its page allocator without peeking
+        at pre-crash RAM.
+        """
+        tm = self.telemetry
         fresh = MappingState(self.geometry, self.logical_pages)
+        report = MountReport()
         newest: dict = {}
         programmed_blocks: set = set()
+        torn_blocks: set = set()
         for ppn in range(self.geometry.total_pages):
+            report.pages_scanned += 1
             try:
                 result = yield ReadOob(ppn=ppn)
             except ReadUnwrittenError:
                 continue
             except UncorrectableError:
                 # Unreadable spare area: the page's mapping (if any) is
-                # unrecoverable, but the block clearly holds programs.
-                programmed_blocks.add(self.geometry.block_of_ppn(ppn))
+                # unrecoverable, but the block clearly holds programs —
+                # and is evidence of torn/failing media.
+                report.torn_pages += 1
+                pbn = self.geometry.block_of_ppn(ppn)
+                programmed_blocks.add(pbn)
+                torn_blocks.add(pbn)
                 continue
             programmed_blocks.add(self.geometry.block_of_ppn(ppn))
             oob = result.oob
@@ -208,20 +275,117 @@ class NoFTLStorageManager:
             known = newest.get(lpn)
             if known is None or seq > known[0]:
                 newest[lpn] = (seq, ppn)
-        for lpn, (__, ppn) in newest.items():
+            elif seq == known[0]:
+                # Copyback-preserved duplicate: both copies are intact
+                # and identical; prefer the lowest ppn so the choice is a
+                # pure function of device state, not of scan order.
+                report.duplicate_ties += 1
+                if ppn < known[1]:
+                    newest[lpn] = (seq, ppn)
+        for lpn, (seq, ppn) in newest.items():
             fresh.bind(lpn, ppn)
-        # Swap in the recovered table and rebuild every region's
+            pbn = self.geometry.block_of_ppn(ppn)
+            if seq > fresh.block_write_time[pbn]:
+                fresh.block_write_time[pbn] = seq
+        # Swap in the recovered tables and rebuild every region's
         # allocation state from the same scan (programmed blocks are
-        # occupied; erased blocks return to the free pools).
+        # occupied; erased blocks return to the free pools; evidence
+        # blocks and the authoritative bad set stay out of both).
         self.mapping.l2p[:] = fresh.l2p
         self.mapping.p2l[:] = fresh.p2l
         self.mapping.valid_in_block[:] = fresh.valid_in_block
+        self.mapping.block_write_time[:] = fresh.block_write_time
         self.mapping.clock = max(
             (seq for seq, __ in newest.values()), default=0
         )
+        for pbn in sorted(torn_blocks):
+            if not self.bad_blocks.is_bad(pbn):
+                self.bad_blocks.report_grown(pbn)
+                self.stats.grown_bad_blocks += 1
+        self._tm_degraded.set(1 if self.bad_blocks.degraded else 0)
+        all_bad = self.bad_blocks.all_bad
         for region in self.regions.regions:
-            region.space.rebuild_allocation(programmed_blocks)
-        return len(newest)
+            region.space.rebuild_allocation(
+                programmed_blocks, bad_blocks=all_bad,
+                quarantined=torn_blocks,
+            )
+        report.mappings = len(newest)
+        report.programmed_blocks = len(programmed_blocks)
+        report.quarantined_blocks = tuple(sorted(torn_blocks))
+        report.max_seq = self.mapping.clock
+        report.max_lpn = max(newest, default=-1)
+        report.mapped_lpns = frozenset(newest)
+        tm.counter("noftl.mount.pages_scanned", layer="noftl").inc(
+            report.pages_scanned)
+        tm.counter("noftl.mount.mappings", layer="noftl").inc(report.mappings)
+        tm.counter("noftl.mount.torn_pages", layer="noftl").inc(
+            report.torn_pages)
+        tm.counter("noftl.mount.duplicate_ties", layer="noftl").inc(
+            report.duplicate_ties)
+        tm.counter("noftl.mount.quarantined_blocks", layer="noftl").inc(
+            len(torn_blocks))
+        return report
+
+    def verify_integrity(self) -> List[str]:
+        """Cross-check mapping and allocation state; returns violations.
+
+        Used by the crash harness as its structural oracle after a mount:
+        l2p/p2l must agree both ways, per-block valid counts must match,
+        free-pool blocks must hold no valid pages, and no bad/quarantined
+        block may be available for allocation.
+        """
+        problems: List[str] = []
+        mapping = self.mapping
+        valid_count = [0] * self.geometry.total_blocks
+        for lpn in range(self.logical_pages):
+            ppn = mapping.l2p[lpn]
+            if ppn == UNMAPPED:
+                continue
+            if mapping.p2l[ppn] != lpn:
+                problems.append(
+                    f"l2p/p2l disagree: lpn={lpn} -> ppn={ppn} -> "
+                    f"{mapping.p2l[ppn]}"
+                )
+            valid_count[self.geometry.block_of_ppn(ppn)] += 1
+        for ppn in range(self.geometry.total_pages):
+            lpn = mapping.p2l[ppn]
+            if lpn != UNMAPPED and mapping.l2p[lpn] != ppn:
+                problems.append(
+                    f"p2l/l2p disagree: ppn={ppn} -> lpn={lpn} -> "
+                    f"{mapping.l2p[lpn]}"
+                )
+        for pbn in range(self.geometry.total_blocks):
+            if valid_count[pbn] != mapping.valid_in_block[pbn]:
+                problems.append(
+                    f"valid_in_block[{pbn}]={mapping.valid_in_block[pbn]} "
+                    f"but {valid_count[pbn]} mapped pages"
+                )
+        bad = self.bad_blocks.all_bad
+        for region in self.regions.regions:
+            space = region.space
+            for plane in space._planes.values():
+                free = set(plane.pool.peek_free())
+                actives = {active[0] for active in plane.active.values()
+                           if active is not None}
+                for pbn in free:
+                    if valid_count[pbn]:
+                        problems.append(
+                            f"free-pool block {pbn} holds "
+                            f"{valid_count[pbn]} valid pages"
+                        )
+                for pbn in free | plane.occupied | actives:
+                    if pbn in bad:
+                        problems.append(f"bad block {pbn} is allocatable")
+                    if pbn in space.quarantined_blocks:
+                        problems.append(
+                            f"quarantined block {pbn} is allocatable"
+                        )
+                overlap = free & plane.occupied
+                if overlap:
+                    problems.append(
+                        f"pool/occupied overlap: {sorted(overlap)}"
+                    )
+        return problems
 
     # -- introspection --------------------------------------------------------------
 

@@ -145,6 +145,32 @@ class NoFTLStorage:
         finally:
             lock.release()
 
+    def mount(self, ctx: Optional[OpContext] = None):
+        """Generator: cold-start OOB scan + state rebuild.
+
+        Returns the :class:`~repro.core.manager.MountReport`.  Runs under
+        every region lock so nothing allocates against half-built state
+        (a freshly built rig has no other users anyway, but an in-place
+        remount after a fault does).
+        """
+        if ctx is None:
+            ctx = OpContext("recovery")
+        for lock in self.region_locks:
+            yield lock.request()
+        try:
+            report = yield from self.executor.run(
+                self.manager.mount(), ctx=ctx
+            )
+        finally:
+            for lock in self.region_locks:
+                lock.release()
+        return report
+
+    def recover(self, ctx: Optional[OpContext] = None):
+        """Generator: compatibility wrapper — mount, return mapping count."""
+        report = yield from self.mount(ctx=ctx)
+        return report.mappings
+
     def region_lock_contention(self) -> dict:
         """Aggregate wait statistics — the paper's 'contention for physical
         resources among db-writers' made measurable."""
@@ -179,6 +205,12 @@ class SyncNoFTLStorage:
 
     def trim(self, lpn: int, ctx: Optional[OpContext] = None) -> None:
         self.executor.run(self.manager.trim(lpn), ctx=ctx)
+
+    def mount(self):
+        """Cold-start OOB scan + state rebuild; returns the MountReport."""
+        return self.executor.run(
+            self.manager.mount(), ctx=OpContext("recovery")
+        )
 
     def recover(self) -> int:
         return self.executor.run(

@@ -10,7 +10,7 @@ from .heap import RID, HeapFile, pack_rid, unpack_rid
 from .latches import RWLock
 from .locks import LockManager, LockMode, TxnAborted
 from .page import BTreeNodePage, PageFormatError, SlottedPage, decode_page
-from .recovery import RecoveryReport, recover_database
+from .recovery import ColdStart, RecoveryReport, cold_start, recover_database
 from .storage import (
     BlockDeviceAdapter,
     NoFTLStorageAdapter,
@@ -39,7 +39,9 @@ __all__ = [
     "PageFormatError",
     "SlottedPage",
     "decode_page",
+    "ColdStart",
     "RecoveryReport",
+    "cold_start",
     "recover_database",
     "BlockDeviceAdapter",
     "NoFTLStorageAdapter",

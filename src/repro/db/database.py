@@ -150,6 +150,19 @@ class Database:
         page ids that survive on storage."""
         self._next_page_id = max(self._next_page_id, page_id + 1)
 
+    def adopt_free_pages(self, page_ids) -> None:
+        """Re-seed the free list after a cold-start mount.
+
+        The free list is host-RAM state a crash destroys; the mount path
+        re-derives it — page ids below the allocator floor that are
+        neither mapped on storage nor referenced by the durable WAL — and
+        hands it back here, so a recovered database does not leak the
+        address space its predecessor had released."""
+        for page_id in page_ids:
+            if page_id < self._next_page_id \
+                    and page_id not in self._free_page_ids:
+                self._free_page_ids.append(page_id)
+
     def release_page(self, page_id: int):
         """Generator: return a page to the allocator and *tell the flash*
         (the trim that black-box storage never receives).

@@ -81,9 +81,16 @@ class WALog:
         carry such LSNs).
         """
         lsn = min(lsn, self.appended_lsn)
+        joined = False
         while self.flushed_lsn < lsn:
             if self._flush_done is not None:
-                self.total_group_commits += 1
+                # Joining an in-flight flush is one group commit for this
+                # caller no matter how many successive flushes it waits
+                # out (a commit can land just after a flush snapshotted
+                # its target and have to ride the next one too).
+                if not joined:
+                    self.total_group_commits += 1
+                    joined = True
                 yield self._flush_done
                 continue
             done = self.sim.event()

@@ -28,6 +28,7 @@ from .errors import (
     EraseError,
     FlashError,
     OverwriteError,
+    PowerCutError,
     ProgramError,
     ProgramSequenceError,
     ReadUnwrittenError,
@@ -72,6 +73,7 @@ __all__ = [
     "CopybackPlaneError",
     "FlashError",
     "OverwriteError",
+    "PowerCutError",
     "ProgramSequenceError",
     "ReadUnwrittenError",
     "UncorrectableError",

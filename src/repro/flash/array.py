@@ -42,7 +42,9 @@ from .errors import (
     BlockWornOut,
     CopybackPlaneError,
     EraseError,
+    FlashError,
     OverwriteError,
+    PowerCutError,
     ProgramError,
     ProgramSequenceError,
     ReadUnwrittenError,
@@ -177,6 +179,15 @@ class FlashArray:
         self._crc: Dict[int, Optional[int]] = {}
         self.counters = ArrayCounters(per_die_ops=[0] * geometry.total_dies)
 
+        # Power state: after a scripted power cut every command raises
+        # PowerCutError until power_cycle().  The hook fires synchronously
+        # at the cut instant (before anything else in the rig can run), so
+        # a crash harness can snapshot "what the outside world had seen"
+        # at exactly the moment power died.
+        self._powered_off = False
+        self.power_cut_op: Optional[int] = None
+        self.on_power_cut = None
+
         # Telemetry: command counters carry an origin label from the causal
         # context; the vec handle keeps the hot path at one dict probe on
         # the (op, die, origin) value tuple.  The "host" column is
@@ -196,6 +207,9 @@ class FlashArray:
             self.telemetry.counter("flash.busy_us", layer="flash", die=die)
             for die in range(dies)
         ]
+        self._tm_power_cuts = self.telemetry.counter(
+            "flash.power_cuts", layer="flash"
+        )
 
         self._dispatch = {
             ReadPage: self._read,
@@ -267,6 +281,19 @@ class FlashArray:
     def peek_oob(self, ppn: int) -> Any:
         return self._oob.get(ppn)
 
+    @property
+    def powered_off(self) -> bool:
+        return self._powered_off
+
+    def power_cycle(self) -> None:
+        """Bring the device back after a power cut.
+
+        Only the power state resets — every bit of wreckage the cut left
+        (torn pages, half-erased blocks, command counters) persists, which
+        is precisely what a cold-start mount has to cope with.
+        """
+        self._powered_off = False
+
     # -- accounting ----------------------------------------------------------------
 
     def _account(self, command: FlashCommand, op: str, die: int,
@@ -299,7 +326,11 @@ class FlashArray:
         exact-type table probe (with an isinstance walk as the fallback
         for command subclasses).
         """
+        if self._powered_off:
+            raise PowerCutError(self.power_cut_op or self.fault_injector.ops)
         self.fault_injector.tick()
+        if self.fault_injector.check_power_cut(command):
+            self._apply_power_cut(command)
         handler = self._dispatch.get(type(command))
         if handler is None:
             for cls, candidate in self._dispatch.items():
@@ -470,6 +501,10 @@ class FlashArray:
             ppn, self.geometry.block_of_ppn(ppn),
             self.geometry.die_of_ppn(ppn), op="oob_read",
         )
+        # OOB is covered by the page's ECC: a torn/corrupted page must
+        # fail its OOB read too, or a cold-start scan would happily adopt
+        # the mapping of a page whose payload is garbage.
+        self._verify_checksum(ppn)
         self.counters.oob_reads += 1
         die = self._bump_die(ppn)
         latency = self.timing.cmd_overhead_us + self.timing.read_us + \
@@ -478,6 +513,68 @@ class FlashArray:
         self._account(command, "oob_read", die, latency)
         return CommandResult(command, latency_us=latency, die=die,
                              oob=self._oob.get(ppn))
+
+    # -- power loss -----------------------------------------------------------------
+
+    def _apply_power_cut(self, command: FlashCommand) -> None:
+        """Power dies at this command boundary: leave realistic wreckage
+        for the in-flight command, switch the device off, and unwind.
+
+        * in-flight PROGRAM / COPYBACK — the destination page is consumed
+          (high-water mark advanced, payload partially latched) but its
+          CRC is poisoned: a torn page that fails checksum on both data
+          and OOB reads;
+        * in-flight ERASE — a half-erased block: every still-programmed
+          page's charge is disturbed (CRC poisoned), the erase count is
+          *not* advanced and the block is not wiped;
+        * read-class commands and Pause/Identify — no device state to
+          tear; the command simply never completes.
+        """
+        if isinstance(command, ProgramPage):
+            self._tear_program(command.ppn, command.data, command.oob)
+        elif isinstance(command, Copyback):
+            src, dst = command.src_ppn, command.dst_ppn
+            if self.geometry.same_plane(src, dst) and self.is_programmed(src):
+                oob = command.oob if command.oob is not None \
+                    else self._oob.get(src)
+                self._tear_program(dst, self._data.get(src), oob)
+        elif isinstance(command, EraseBlock):
+            self._tear_erase(command.pbn)
+        self._powered_off = True
+        self.power_cut_op = self.fault_injector.ops
+        self._tm_power_cuts.inc()
+        if self.on_power_cut is not None:
+            self.on_power_cut(command)
+        raise PowerCutError(self.power_cut_op)
+
+    def _tear_program(self, ppn: int, data: Any, oob: Any) -> None:
+        """Consume ``ppn`` as a torn page (only when the program would
+        have been legal — an illegal command leaves no wreckage)."""
+        pbn = self.geometry.block_of_ppn(ppn)
+        offset = self.geometry.page_offset_of_ppn(ppn)
+        try:
+            self._check_programmable(ppn, pbn, offset)
+        except FlashError:
+            return
+        self._next_page[pbn] = offset + 1
+        self._programmed.add(ppn)
+        if self.store_data:
+            self._data[ppn] = data
+            if self.checksum:
+                crc = page_checksum(data)
+                self._crc[ppn] = 0 if crc is None else crc ^ 0xFFFFFFFF
+        self._oob[ppn] = oob
+
+    def _tear_erase(self, pbn: int) -> None:
+        """Interrupted erase pulse: pages keep their programmed status but
+        every one of them now fails its checksum (half-erased charge)."""
+        if self._bad[pbn]:
+            return
+        base = pbn * self.geometry.pages_per_block
+        for ppn in range(base, base + self._next_page[pbn]):
+            if ppn in self._programmed and self.checksum and self.store_data:
+                crc = self._crc.get(ppn)
+                self._crc[ppn] = 0 if crc is None else crc ^ 0xFFFFFFFF
 
     # -- helpers --------------------------------------------------------------------
 

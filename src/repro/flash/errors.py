@@ -19,6 +19,7 @@ __all__ = [
     "ProgramError",
     "EraseError",
     "DieOutageError",
+    "PowerCutError",
 ]
 
 
@@ -90,6 +91,23 @@ class EraseError(BlockWornOut):
     def __init__(self, pbn: int, erase_count: int = 0):
         super().__init__(pbn, erase_count)
         self.args = (f"erase failed at pbn={pbn} (grown bad block)",)
+
+
+class PowerCutError(FlashError):
+    """The whole device lost power at a flash-command boundary.
+
+    Raised by the array for the command in flight when a scripted
+    ``power_cut`` fault fires, and for every command thereafter until
+    :meth:`~repro.flash.array.FlashArray.power_cycle` simulates power
+    coming back.  Unlike every other flash error this one is not
+    recoverable in-line: it is meant to unwind the entire rig (the crash
+    harness catches it at the top), leaving whatever wreckage the cut
+    produced for a cold-start mount to deal with.
+    """
+
+    def __init__(self, op: int):
+        super().__init__(f"power cut at flash op #{op}")
+        self.op = op
 
 
 class DieOutageError(FlashError):

@@ -21,7 +21,13 @@ Each spec describes one fault source:
   die is rejected with :class:`~repro.flash.errors.DieOutageError`
   (no state change, retryable);
 * ``latency_spike`` — commands on the die take ``factor`` times longer
-  during the window (no error raised).
+  during the window (no error raised);
+* ``power_cut`` — at a deterministically chosen flash-command boundary
+  (``at_op`` operation count, or an arbitrary ``predicate`` over
+  ``(op, command)``) the whole device loses power: the in-flight command
+  leaves realistic wreckage (torn page / half-erased block) and the
+  array raises :class:`~repro.flash.errors.PowerCutError` for it and
+  every command after it until ``power_cycle()``.
 
 Faults are addressable by ``ppn``, ``pbn`` and/or ``die`` (AND-ed; all
 ``None`` matches everything), and can be gated by an operation-count
@@ -39,7 +45,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from .errors import DieOutageError, UncorrectableError
 
@@ -52,6 +58,7 @@ FAULT_KINDS = (
     "erase_fail",
     "die_outage",
     "latency_spike",
+    "power_cut",
 )
 
 _READ_KINDS = ("transient_read", "persistent_read")
@@ -81,6 +88,14 @@ class FaultSpec:
         ``latency_spike``.
     factor
         Latency multiplier for ``latency_spike``.
+    at_op
+        ``power_cut`` only: the exact operation count at which the cut
+        fires (the injector's counter as advanced by :meth:`tick`, i.e.
+        1 for the first command the array ever executes).
+    predicate
+        ``power_cut`` only: alternative trigger — a callable
+        ``(op, command) -> bool`` evaluated at every command boundary.
+        The cut fires on the first command for which it returns True.
     """
 
     kind: str
@@ -91,6 +106,8 @@ class FaultSpec:
     count: Optional[int] = None
     window: Optional[Tuple[int, int]] = None
     factor: float = 1.0
+    at_op: Optional[int] = None
+    predicate: Optional[Callable[[int, object], bool]] = None
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -101,6 +118,13 @@ class FaultSpec:
             raise ValueError(f"{self.kind} requires a window=(start, end)")
         if self.kind == "latency_spike" and self.factor <= 0:
             raise ValueError("latency_spike factor must be > 0")
+        if self.kind == "power_cut":
+            if self.at_op is None and self.predicate is None:
+                raise ValueError("power_cut requires at_op or predicate")
+            if self.count is None:
+                self.count = 1  # a device loses power once per run
+        elif self.at_op is not None or self.predicate is not None:
+            raise ValueError("at_op/predicate are power_cut-only triggers")
 
 
 @dataclass
@@ -118,6 +142,11 @@ class FaultPlan:
     def transient_reads(cls, rate: float, seed: int = 0) -> "FaultPlan":
         """The old ``read_error_rate`` behaviour as a plan."""
         return cls([FaultSpec(kind="transient_read", rate=rate)], seed=seed)
+
+    @classmethod
+    def power_cut_at(cls, at_op: int, seed: int = 0) -> "FaultPlan":
+        """A plan whose only fault is a power cut at flash op ``at_op``."""
+        return cls([FaultSpec(kind="power_cut", at_op=at_op)], seed=seed)
 
 
 class _LiveSpec:
@@ -270,6 +299,32 @@ class FaultInjector:
             if live.matches(self.ops, None, pbn, die) and self._roll(live):
                 self._fire(live, (die, "erase", pbn))
                 return True
+        return False
+
+    def check_power_cut(self, command) -> bool:
+        """True when power is lost at this command boundary.
+
+        Called once per command right after :meth:`tick`; the array then
+        applies the in-flight command's wreckage and powers itself off.
+        The trigger is purely deterministic — an exact operation count
+        (``at_op``) or a caller-supplied predicate — never a rate roll,
+        so a sweep of cut points is exactly reproducible.
+        """
+        if not self._live:
+            return False
+        for live in self._live:
+            spec = live.spec
+            if spec.kind != "power_cut":
+                continue
+            if live.remaining is not None and live.remaining <= 0:
+                continue
+            if spec.at_op is not None and self.ops != spec.at_op:
+                continue
+            if spec.predicate is not None and \
+                    not spec.predicate(self.ops, command):
+                continue
+            self._fire(live, (None, "power_cut", self.ops))
+            return True
         return False
 
     def latency_factor(self, die: Optional[int]) -> float:

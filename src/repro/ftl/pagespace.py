@@ -30,6 +30,7 @@ from ..flash.errors import (
     BlockWornOut,
     DieOutageError,
     FlashError,
+    PowerCutError,
     ProgramError,
     UncorrectableError,
 )
@@ -393,6 +394,8 @@ class PageMappedSpace:
         try:
             yield stamp_context(ProgramPage(ppn=dst, data=data, oob=oob),
                                 OpContext("scrub"))
+        except PowerCutError:
+            raise  # the whole device is gone, not just this scrub
         except FlashError:
             return  # scrub is advisory; the original page still reads
         # Reads are lock-free: only rebind if the mapping is unchanged.
@@ -657,7 +660,8 @@ class PageMappedSpace:
             yield from self._collect(plane, coldest, origin="wear-level",
                                      parent=span)
 
-    def rebuild_allocation(self, programmed_blocks) -> None:
+    def rebuild_allocation(self, programmed_blocks, bad_blocks=None,
+                           quarantined=()) -> None:
         """Crash recovery: reset allocation state from a scan result.
 
         ``programmed_blocks`` is the set of flat block numbers observed to
@@ -666,25 +670,44 @@ class PageMappedSpace:
         returns to the free pools.  Active write points restart fresh —
         partially filled blocks simply retire early, as on real FTL
         power-up scans.
+
+        ``bad_blocks``, when given, is the full authoritative bad set
+        (factory + grown) rebuilt by the mount scan: those blocks enter
+        neither pool nor occupied.  When omitted (legacy in-place
+        recovery) the pre-crash pool membership stands in for it.
+        ``quarantined`` re-seeds :attr:`quarantined_blocks` from scan
+        evidence; the pre-crash ``suspect_blocks``/``quarantined_blocks``
+        sets are host-RAM-only state and are always cleared — trusting
+        them after a crash is exactly the bug this parameter fixes
+        (a pre-crash quarantine silently forgotten, or worse, stale
+        entries shadowing healthy blocks).
         """
         from .base import BlockPool
 
         programmed = set(programmed_blocks)
+        my_blocks: set = set()
         for plane in self._planes.values():
             die, plane_index = plane.plane_id
             blocks = self.geometry.blocks_of_plane(die, plane_index)
-            known = set(plane.pool.peek_free()) | plane.occupied
-            for active in plane.active.values():
-                if active is not None:
-                    known.add(active[0])
-            plane.occupied = {pbn for pbn in blocks
-                              if pbn in programmed and pbn in known}
+            my_blocks.update(blocks)
+            if bad_blocks is None:
+                known = set(plane.pool.peek_free()) | plane.occupied
+                for active in plane.active.values():
+                    if active is not None:
+                        known.add(active[0])
+                usable = [pbn for pbn in blocks if pbn in known]
+            else:
+                usable = [pbn for pbn in blocks if pbn not in bad_blocks]
+            plane.occupied = {pbn for pbn in usable if pbn in programmed}
             plane.pool = BlockPool(
-                pbn for pbn in blocks
-                if pbn not in programmed and pbn in known
+                pbn for pbn in usable if pbn not in programmed
             )
             plane.active = {key: None for key in plane.active}
             plane.collecting = set()
+        self.suspect_blocks.clear()
+        self.quarantined_blocks = {
+            pbn for pbn in quarantined if pbn in my_blocks
+        }
 
     # -- introspection -----------------------------------------------------------------
 

@@ -62,6 +62,14 @@ class Workload:
         """Generator: create schema and populate the database."""
         raise NotImplementedError
 
+    def declare_schema(self, db: Database):  # pragma: no cover - interface
+        """Generator: create the catalog only (no rows).
+
+        Crash recovery re-declares the schema on a fresh database before
+        replaying the WAL; workloads that support the crash harness
+        override this (and build :meth:`load` on top of it)."""
+        raise NotImplementedError
+
     def next_transaction(
         self, db: Database, rng: random.Random
     ) -> Tuple[str, Callable]:  # pragma: no cover - interface

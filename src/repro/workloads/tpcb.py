@@ -54,14 +54,25 @@ class TPCB(Workload):
 
     # -- loading -------------------------------------------------------------------
 
-    def load(self, db: Database):
-        accounts = db.create_heap("tpcb_accounts", hint="hot")
-        tellers = db.create_heap("tpcb_tellers", hint="hot")
-        branches = db.create_heap("tpcb_branches", hint="hot")
+    def declare_schema(self, db: Database):
+        """Generator: the catalog alone (heaps + indexes, no rows) — what
+        crash recovery re-declares before replaying the WAL."""
+        db.create_heap("tpcb_accounts", hint="hot")
+        db.create_heap("tpcb_tellers", hint="hot")
+        db.create_heap("tpcb_branches", hint="hot")
         db.create_heap("tpcb_history", hint="cold")
-        account_idx = yield from db.create_index("tpcb_account_idx")
-        teller_idx = yield from db.create_index("tpcb_teller_idx")
-        branch_idx = yield from db.create_index("tpcb_branch_idx")
+        yield from db.create_index("tpcb_account_idx")
+        yield from db.create_index("tpcb_teller_idx")
+        yield from db.create_index("tpcb_branch_idx")
+
+    def load(self, db: Database):
+        yield from self.declare_schema(db)
+        accounts = db.heaps["tpcb_accounts"]
+        tellers = db.heaps["tpcb_tellers"]
+        branches = db.heaps["tpcb_branches"]
+        account_idx = db.indexes["tpcb_account_idx"]
+        teller_idx = db.indexes["tpcb_teller_idx"]
+        branch_idx = db.indexes["tpcb_branch_idx"]
 
         txn = db.begin()
         for bid in range(self.num_branches):

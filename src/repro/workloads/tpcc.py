@@ -83,25 +83,35 @@ class TPCC(Workload):
 
     # -- loading -----------------------------------------------------------------------
 
-    def load(self, db: Database):
-        warehouses = db.create_heap("tpcc_warehouse", hint="hot")
-        districts = db.create_heap("tpcc_district", hint="hot")
-        customers = db.create_heap("tpcc_customer", hint="hot")
-        items = db.create_heap("tpcc_item", hint="cold")
-        stock = db.create_heap("tpcc_stock", hint="hot")
+    def declare_schema(self, db: Database):
+        """Generator: the catalog alone (heaps + indexes, no rows) — what
+        crash recovery re-declares before replaying the WAL."""
+        db.create_heap("tpcc_warehouse", hint="hot")
+        db.create_heap("tpcc_district", hint="hot")
+        db.create_heap("tpcc_customer", hint="hot")
+        db.create_heap("tpcc_item", hint="cold")
+        db.create_heap("tpcc_stock", hint="hot")
         db.create_heap("tpcc_order", hint="hot")
         db.create_heap("tpcc_new_order", hint="hot")
         db.create_heap("tpcc_order_line", hint="hot")
         db.create_heap("tpcc_history", hint="cold")
+        for name in ("tpcc_w_idx", "tpcc_d_idx", "tpcc_c_idx", "tpcc_i_idx",
+                     "tpcc_s_idx", "tpcc_o_idx", "tpcc_no_idx",
+                     "tpcc_ol_idx"):
+            yield from db.create_index(name)
 
-        w_idx = yield from db.create_index("tpcc_w_idx")
-        d_idx = yield from db.create_index("tpcc_d_idx")
-        c_idx = yield from db.create_index("tpcc_c_idx")
-        i_idx = yield from db.create_index("tpcc_i_idx")
-        s_idx = yield from db.create_index("tpcc_s_idx")
-        yield from db.create_index("tpcc_o_idx")
-        yield from db.create_index("tpcc_no_idx")
-        yield from db.create_index("tpcc_ol_idx")
+    def load(self, db: Database):
+        yield from self.declare_schema(db)
+        warehouses = db.heaps["tpcc_warehouse"]
+        districts = db.heaps["tpcc_district"]
+        customers = db.heaps["tpcc_customer"]
+        items = db.heaps["tpcc_item"]
+        stock = db.heaps["tpcc_stock"]
+        w_idx = db.indexes["tpcc_w_idx"]
+        d_idx = db.indexes["tpcc_d_idx"]
+        c_idx = db.indexes["tpcc_c_idx"]
+        i_idx = db.indexes["tpcc_i_idx"]
+        s_idx = db.indexes["tpcc_s_idx"]
 
         txn = db.begin()
         for i_id in range(self.items):

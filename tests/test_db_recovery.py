@@ -15,7 +15,7 @@ from repro.core import NoFTLConfig, NoFTLStorage, NoFTLStorageManager
 from repro.db import (
     Database,
     NoFTLStorageAdapter,
-    recover_database,
+    cold_start,
 )
 from repro.flash import (
     FlashArray,
@@ -50,35 +50,17 @@ def make_db(array=None, sim=None):
 
 
 def crash_and_recover(old_sim, old_db, array, rebuild_schema):
-    """Simulate a host crash: only the flash array and the durable WAL
-    prefix survive.  Returns the recovered (sim, db, report)."""
-    records = list(old_db.wal.records)
-    durable_lsn = old_db.wal.flushed_lsn
-
-    sim = Simulator()
-    executor = SimExecutor(SimFlashDevice(sim, array))
-    manager = NoFTLStorageManager(GEO, NoFTLConfig(op_ratio=0.25))
-    storage = NoFTLStorage(sim, manager, executor)
-
-    def mapping_scan():
-        recovered = yield from executor.run(manager.recover())
-        return recovered
-
-    sim.run_process(mapping_scan())
-
-    db = Database(sim, NoFTLStorageAdapter(storage),
-                  page_bytes=GEO.page_bytes, buffer_capacity=24,
-                  cpu_us_per_op=1.0, wal_keep_records=True)
-    # Fresh allocations must not collide with surviving pages.
-    db.reserve_pages_through(old_db._next_page_id)
-
-    def setup_and_recover():
-        yield from rebuild_schema(db)
-        report = yield from recover_database(db, records, durable_lsn)
-        return report
-
-    report = sim.run_process(setup_and_recover())
-    return sim, db, report
+    """Simulate a host crash through the product cold-start path: only
+    the flash array and the durable WAL prefix survive — no pre-crash
+    in-memory state (allocator, free list, mapping) is consulted.
+    Returns the recovered (sim, db, report)."""
+    boot = cold_start(
+        array, GEO, list(old_db.wal.records), old_db.wal.flushed_lsn,
+        rebuild_schema,
+        config=NoFTLConfig(op_ratio=0.25),
+        buffer_capacity=24, cpu_us_per_op=1.0,
+    )
+    return boot.sim, boot.db, boot.recovery
 
 
 class TestHeapRecovery:
@@ -183,18 +165,15 @@ class TestHeapRecovery:
         rid, rid2, durable_lsn = sim.run_process(work())
         records = [r for r in db.wal.records]
 
-        sim2 = Simulator()
-        executor = SimExecutor(SimFlashDevice(sim2, array))
-        manager2 = NoFTLStorageManager(GEO, NoFTLConfig(op_ratio=0.25))
-        storage2 = NoFTLStorage(sim2, manager2, executor)
-        sim2.run_process(executor.run(manager2.recover()))
-        db2 = Database(sim2, NoFTLStorageAdapter(storage2),
-                       page_bytes=GEO.page_bytes, buffer_capacity=24,
-                       wal_keep_records=True)
-        db2.reserve_pages_through(db._next_page_id)
-        db2.create_heap("t")
-        report = sim2.run_process(
-            recover_database(db2, records, durable_lsn))
+        def rebuild(new_db):
+            new_db.create_heap("t")
+            return
+            yield
+
+        boot = cold_start(array, GEO, records, durable_lsn, rebuild,
+                          config=NoFTLConfig(op_ratio=0.25),
+                          buffer_capacity=24)
+        sim2, db2, report = boot.sim, boot.db, boot.recovery
 
         def verify():
             txn = db2.begin()
