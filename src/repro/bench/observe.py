@@ -44,7 +44,12 @@ from ..telemetry import (
     windowed_series,
 )
 from ..workloads import TPCB, run_workload
-from .reporting import emit, export_metrics, render_table
+from .reporting import (
+    DEFAULT_METRICS_DIR,
+    emit,
+    export_metrics,
+    render_table,
+)
 from .rigs import (
     attach_database,
     build_blockdev_rig,
@@ -255,8 +260,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--dies", type=int, default=8)
     parser.add_argument("--terminals", type=int, default=16)
     parser.add_argument("--window-us", type=float, default=100_000.0)
-    parser.add_argument("--trace-dir", default="bench-metrics",
-                        help="where run traces are written")
+    parser.add_argument("--trace-dir", default=None,
+                        help="where run traces are written (default: "
+                             "REPRO_METRICS_DIR or benchmarks/out)")
     parser.add_argument("--from-trace", action="append", default=[],
                         metavar="ARCH=PATH",
                         help="skip the rig: analyze a saved JSONL trace")
@@ -276,6 +282,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         traces[arch] = path
         runs[arch] = None
     arches = args.arch or (["faster", "noftl"] if not traces else [])
+    if args.trace_dir is None:
+        args.trace_dir = os.environ.get("REPRO_METRICS_DIR",
+                                        DEFAULT_METRICS_DIR)
     if arches:
         os.makedirs(args.trace_dir, exist_ok=True)
     for arch in arches:

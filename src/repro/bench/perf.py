@@ -17,7 +17,7 @@ final simulated clock and commit count — which must be bit-identical
 across kernel refactors (the determinism tests assert this).
 
 Output: one ``BENCH_<rig>.json`` per rig in ``REPRO_METRICS_DIR``
-(default ``bench-metrics``), plus a combined ``BENCH_perf.json``:
+(default ``benchmarks/out``), plus a combined ``BENCH_perf.json``:
 
 * ``wall_s`` — host seconds for the measured phase (load excluded);
 * ``events`` / ``events_per_sec`` — DES events processed and the rate;
@@ -26,12 +26,15 @@ Output: one ``BENCH_<rig>.json`` per rig in ``REPRO_METRICS_DIR``
 * ``sim_us`` — simulated microseconds covered;
 * ``metrics_digest`` — determinism witness (see above).
 
-CI runs ``python -m repro.bench.perf --quick --check`` as a regression
-gate: it fails when any rig's events/sec drops more than ``--tolerance``
-(default 20%) below the checked-in ``benchmarks/perf_baseline.json``.
-Regenerate the baseline with ``--write-baseline`` after an intentional
-performance change (values should be set conservatively — CI runners
-are slower than dev machines).
+CI runs ``python -m repro.bench.perf --quick --check --determinism`` as
+a combined regression + determinism gate: it fails when any rig's
+events/sec drops more than ``--tolerance`` (default 20%) below the
+checked-in ``benchmarks/perf_baseline.json``, and ``--determinism``
+additionally runs every rig twice and fails on any ``metrics_digest``
+mismatch between the two runs.  Regenerate the baseline with
+``--write-baseline`` after an intentional performance change (values
+should be set conservatively — CI runners are slower than dev
+machines).
 """
 
 from __future__ import annotations
@@ -233,6 +236,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="compare events/sec against the baseline file "
                              "and exit nonzero on regression")
+    parser.add_argument("--determinism", action="store_true",
+                        help="run every rig twice and exit nonzero unless "
+                             "both runs produce identical metrics digests")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help=f"baseline JSON path (default {DEFAULT_BASELINE})")
     parser.add_argument("--tolerance", type=float, default=0.20,
@@ -253,14 +259,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         duration = QUICK_DURATION_US if args.quick else FULL_DURATION_US
 
     points: List[PerfPoint] = []
+    digest_failures: List[str] = []
     for rig in rigs:
         point = run_rig(rig, seed=args.seed, duration_us=duration)
         points.append(point)
-        export_metrics(f"BENCH_{rig}", point.as_dict())
+        payload = point.as_dict()
+        if args.determinism:
+            # Same seed, same horizon, fresh rig: every counter, histogram
+            # sample and the final simulated clock must agree exactly.
+            repeat = run_rig(rig, seed=args.seed, duration_us=duration)
+            payload["metrics_digest_repeat"] = repeat.metrics_digest
+            if repeat.metrics_digest != point.metrics_digest:
+                digest_failures.append(
+                    f"{rig}: digest {point.metrics_digest[:16]}… != "
+                    f"repeat {repeat.metrics_digest[:16]}…"
+                )
+        export_metrics(f"BENCH_{rig}", payload)
 
     export_metrics("BENCH_perf", {
         "rigs": [point.as_dict() for point in points],
         "quick": args.quick,
+        "determinism_checked": args.determinism,
+        "determinism_failures": digest_failures,
     })
 
     emit(render_table(
@@ -273,6 +293,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ))
     for point in points:
         emit(f"  {point.rig} digest: {point.metrics_digest}")
+
+    if args.determinism:
+        if digest_failures:
+            for failure in digest_failures:
+                emit(f"DETERMINISM FAILURE: {failure}")
+            return 1
+        emit("determinism check ok (identical digests on repeat runs)")
 
     if args.write_baseline:
         write_baseline(args.baseline, points, derate=args.derate)

@@ -4,7 +4,8 @@
 terminal even under pytest's output capture — the benchmark suite is as
 much a report generator as a test suite.  Set ``REPRO_QUIET=1`` to
 silence the tables (CI log hygiene); :func:`export_metrics` still writes
-the machine-readable telemetry snapshots regardless.
+the machine-readable telemetry snapshots regardless, into
+``REPRO_METRICS_DIR`` (default ``benchmarks/out``).
 """
 
 from __future__ import annotations
@@ -15,7 +16,11 @@ import sys
 from typing import Iterable, List, Optional, Sequence
 
 __all__ = ["emit", "render_table", "render_series", "ratio",
-           "export_metrics"]
+           "export_metrics", "DEFAULT_METRICS_DIR"]
+
+#: Default landing directory for BENCH_*.json run output: under
+#: ``benchmarks/`` next to the tracked baselines, but gitignored.
+DEFAULT_METRICS_DIR = os.path.join("benchmarks", "out")
 
 
 #: When set (by the benchmark suite's conftest), emit() routes through
@@ -49,9 +54,10 @@ def export_metrics(name: str, registry, extra: Optional[dict] = None) -> str:
     ``registry`` is a :class:`~repro.telemetry.MetricsRegistry` (or any
     object with a ``snapshot()``, or a plain dict).  The file lands in
     the directory named by ``REPRO_METRICS_DIR`` (default
-    ``bench-metrics``) as ``<name>.json``; the path is returned.
+    ``benchmarks/out`` — run output lives beside the tracked baselines
+    but is itself gitignored) as ``<name>.json``; the path is returned.
     """
-    out_dir = os.environ.get("REPRO_METRICS_DIR", "bench-metrics")
+    out_dir = os.environ.get("REPRO_METRICS_DIR", DEFAULT_METRICS_DIR)
     os.makedirs(out_dir, exist_ok=True)
     payload = registry.snapshot() if hasattr(registry, "snapshot") \
         else dict(registry)

@@ -26,6 +26,7 @@ All flash-touching methods are command generators; run them through a
 from __future__ import annotations
 
 import random
+from array import array as _array
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
@@ -246,7 +247,12 @@ class NoFTLStorageManager:
         tm = self.telemetry
         fresh = MappingState(self.geometry, self.logical_pages)
         report = MountReport()
-        newest: dict = {}
+        # Flat winner tables over the logical space (seq/ppn of the newest
+        # intact copy seen so far) plus the first-seen order for reporting.
+        newest_seq = _array("q", [0]) * self.logical_pages
+        newest_ppn = _array("q", [UNMAPPED]) * self.logical_pages
+        seen = bytearray(self.logical_pages)
+        mapped: List[int] = []
         programmed_blocks: set = set()
         torn_blocks: set = set()
         for ppn in range(self.geometry.total_pages):
@@ -272,17 +278,21 @@ class NoFTLStorageManager:
             seq = oob.get("seq", 0)
             if lpn >= self.logical_pages:
                 continue
-            known = newest.get(lpn)
-            if known is None or seq > known[0]:
-                newest[lpn] = (seq, ppn)
-            elif seq == known[0]:
+            if not seen[lpn] or seq > newest_seq[lpn]:
+                if not seen[lpn]:
+                    seen[lpn] = 1
+                    mapped.append(lpn)
+                newest_seq[lpn] = seq
+                newest_ppn[lpn] = ppn
+            elif seq == newest_seq[lpn]:
                 # Copyback-preserved duplicate: both copies are intact
                 # and identical; prefer the lowest ppn so the choice is a
                 # pure function of device state, not of scan order.
                 report.duplicate_ties += 1
-                if ppn < known[1]:
-                    newest[lpn] = (seq, ppn)
-        for lpn, (seq, ppn) in newest.items():
+                if ppn < newest_ppn[lpn]:
+                    newest_ppn[lpn] = ppn
+        for lpn in mapped:
+            seq, ppn = newest_seq[lpn], newest_ppn[lpn]
             fresh.bind(lpn, ppn)
             pbn = self.geometry.block_of_ppn(ppn)
             if seq > fresh.block_write_time[pbn]:
@@ -296,7 +306,7 @@ class NoFTLStorageManager:
         self.mapping.valid_in_block[:] = fresh.valid_in_block
         self.mapping.block_write_time[:] = fresh.block_write_time
         self.mapping.clock = max(
-            (seq for seq, __ in newest.values()), default=0
+            (newest_seq[lpn] for lpn in mapped), default=0
         )
         for pbn in sorted(torn_blocks):
             if not self.bad_blocks.is_bad(pbn):
@@ -309,12 +319,12 @@ class NoFTLStorageManager:
                 programmed_blocks, bad_blocks=all_bad,
                 quarantined=torn_blocks,
             )
-        report.mappings = len(newest)
+        report.mappings = len(mapped)
         report.programmed_blocks = len(programmed_blocks)
         report.quarantined_blocks = tuple(sorted(torn_blocks))
         report.max_seq = self.mapping.clock
-        report.max_lpn = max(newest, default=-1)
-        report.mapped_lpns = frozenset(newest)
+        report.max_lpn = max(mapped, default=-1)
+        report.mapped_lpns = frozenset(mapped)
         tm.counter("noftl.mount.pages_scanned", layer="noftl").inc(
             report.pages_scanned)
         tm.counter("noftl.mount.mappings", layer="noftl").inc(report.mappings)
@@ -384,6 +394,41 @@ class NoFTLStorageManager:
                 if overlap:
                     problems.append(
                         f"pool/occupied overlap: {sorted(overlap)}"
+                    )
+                # GC victim buckets must mirror the occupied set exactly,
+                # and each member's bucketed valid count must agree with
+                # the mapping — otherwise O(1) victim selection could pick
+                # a stale victim (or miss the true maximum-invalid block).
+                members = set(plane.buckets)
+                if members != plane.occupied:
+                    problems.append(
+                        f"victim buckets/occupied disagree: "
+                        f"extra={sorted(members - plane.occupied)} "
+                        f"missing={sorted(plane.occupied - members)}"
+                    )
+                for pbn in plane.occupied:
+                    bucketed = plane.buckets.valid_of(pbn)
+                    if bucketed != valid_count[pbn]:
+                        problems.append(
+                            f"bucket valid[{pbn}]={bucketed} but "
+                            f"{valid_count[pbn]} mapped pages"
+                        )
+                    if mapping.block_watch[pbn] is not plane.buckets:
+                        problems.append(
+                            f"occupied block {pbn} has no bucket watcher"
+                        )
+        # A stale watcher slot on a non-occupied block would let future
+        # bind/invalidate events mutate a plane's buckets behind its back.
+        for region in self.regions.regions:
+            space = region.space
+            occupied_all = set()
+            for plane in space._planes.values():
+                occupied_all |= plane.occupied
+            for pbn in region.blocks():
+                if mapping.block_watch[pbn] is not None \
+                        and pbn not in occupied_all:
+                    problems.append(
+                        f"stale bucket watcher on block {pbn}"
                     )
         return problems
 

@@ -27,6 +27,7 @@ class Region:
 
     def __init__(self, region_id: int, dies: List[int], geometry: Geometry):
         self.region_id = region_id
+        self.geometry = geometry
         self.dies = list(dies)
         self.planes = [
             (die, plane)
@@ -34,6 +35,15 @@ class Region:
             for plane in range(geometry.planes_per_die)
         ]
         self.space = None  # attached by the storage manager
+
+    def blocks(self):
+        """Iterator over every physical block number this region owns
+        (die-major numbering keeps each die's blocks contiguous)."""
+        blocks_per_die = (
+            self.geometry.planes_per_die * self.geometry.blocks_per_plane
+        )
+        for die in self.dies:
+            yield from range(die * blocks_per_die, (die + 1) * blocks_per_die)
 
     def __repr__(self) -> str:
         return f"Region({self.region_id}, dies={self.dies})"

@@ -183,18 +183,23 @@ class SlottedPage:
         _SLOTTED_SUB.pack_into(out, _COMMON.size, len(self._records), 0)
         directory = _COMMON.size + _SLOTTED_SUB.size
         payload_end = self.page_bytes
-        # Build the slot directory as one joined bytes object instead of a
-        # pack_into per slot: serialisation runs on every flush/evict.
+        # Build the slot directory and the payload area as two joined
+        # bytes objects instead of a pack_into / slice-assign per slot:
+        # serialisation runs on every flush/evict.
         slot_pack = _SLOT.pack
         entries = []
+        parts = []
         for record in self._records:
             if record is None:
                 entries.append(_TOMB_SLOT)
             else:
                 length = len(record)
                 payload_end -= length
-                out[payload_end:payload_end + length] = record
+                parts.append(record)
                 entries.append(slot_pack(payload_end, length))
+        if parts:
+            parts.reverse()
+            out[payload_end:] = b"".join(parts)
         out[directory:directory + _SLOT.size * len(entries)] = b"".join(entries)
         return bytes(out)
 

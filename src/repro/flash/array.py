@@ -16,6 +16,15 @@ Enforced NAND rules:
 * erases beyond the endurance limit grow a bad block
   (:class:`~repro.flash.errors.BlockWornOut`);
 * factory-bad blocks reject program/erase.
+
+State layout: per-page state is flat, indexed by ppn — ``bytearray``
+bitmaps for programmed/poisoned flags and dense Python lists for the
+payload/OOB slots.  Page payloads never mutate in host RAM, so a stored
+checksum can only mismatch its recomputation when the page was explicitly
+damaged (torn program, interrupted erase, failed program, injected
+corruption); the ``_poisoned`` bitmap records exactly that bit and
+replaces a per-page CRC dict — no pickling or CRC arithmetic on the hot
+program/read path, with identical observable semantics.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ import pickle
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, List, Optional
 
 from .commands import (
     CommandResult,
@@ -61,8 +70,9 @@ __all__ = ["FlashArray", "ArrayCounters", "page_checksum"]
 def page_checksum(data: Any) -> Optional[int]:
     """Cheap CRC32 of an arbitrary page payload (None for empty pages).
 
-    Used by the array to detect torn/corrupted pages on read, and by the
-    chaos rig's oracle to compare what was written with what came back.
+    Used by the chaos rig's oracle to compare what was written with what
+    came back; the array itself tracks page damage with the poisoned
+    bitmap instead of recomputing checksums per command.
     """
     if data is None:
         return None
@@ -124,8 +134,8 @@ class FlashArray:
         failures, die outage windows, latency spikes).  The injector is
         exposed as ``self.fault_injector``.
     checksum
-        Keep a CRC32 per programmed page (when ``store_data``) and verify
-        it on every read, so torn/corrupted pages surface as
+        Track per-page damage (when ``store_data``) and verify it on
+        every read, so torn/corrupted pages surface as
         :class:`UncorrectableError` instead of silently wrong data.
     telemetry
         Shared :class:`~repro.telemetry.MetricsRegistry`; a private one is
@@ -170,14 +180,31 @@ class FlashArray:
         self._rng = rng or random.Random(0)
 
         nblocks = geometry.total_blocks
+        npages = geometry.total_pages
+        self._npages = npages
         self.erase_counts: List[int] = [0] * nblocks
         self._next_page: List[int] = [0] * nblocks
-        self._programmed: set = set()
-        self._bad: List[bool] = [False] * nblocks
-        self._data: Dict[int, Any] = {}
-        self._oob: Dict[int, Any] = {}
-        self._crc: Dict[int, Optional[int]] = {}
+        self._bad = bytearray(nblocks)
+        # Flat per-page state (see module docstring).
+        self._programmed = bytearray(npages)
+        self._poisoned = bytearray(npages)
+        self._data: List[Any] = [None] * npages
+        self._oob: List[Any] = [None] * npages
         self.counters = ArrayCounters(per_die_ops=[0] * geometry.total_dies)
+
+        # Hot-path constants: address divisors and the per-command-class
+        # latencies, which are pure functions of geometry + timing.
+        self._pages_per_block = geometry.pages_per_block
+        self._blocks_per_die = geometry.blocks_per_die
+        self._read_latency_us = timing.read_latency_us(geometry.page_bytes)
+        self._program_latency_us = timing.program_latency_us(geometry.page_bytes)
+        self._erase_latency_us = timing.erase_latency_us()
+        self._copyback_latency_us = timing.copyback_latency_us()
+        self._oob_latency_us = (
+            timing.cmd_overhead_us
+            + timing.read_us
+            + timing.transfer_us(geometry.oob_bytes)
+        )
 
         # Power state: after a scripted power cut every command raises
         # PowerCutError until power_cycle().  The hook fires synchronously
@@ -207,9 +234,7 @@ class FlashArray:
             self.telemetry.counter("flash.busy_us", layer="flash", die=die)
             for die in range(dies)
         ]
-        self._tm_power_cuts = self.telemetry.counter(
-            "flash.power_cuts", layer="flash"
-        )
+        self._tm_power_cuts = self.telemetry.counter("flash.power_cuts", layer="flash")
 
         self._dispatch = {
             ReadPage: self._read,
@@ -245,13 +270,13 @@ class FlashArray:
     # -- inspection ------------------------------------------------------------
 
     def is_bad(self, pbn: int) -> bool:
-        return self._bad[pbn]
+        return bool(self._bad[pbn])
 
     def factory_bad_blocks(self) -> List[int]:
         return [pbn for pbn, bad in enumerate(self._bad) if bad]
 
     def is_programmed(self, ppn: int) -> bool:
-        return ppn in self._programmed
+        return 0 <= ppn < self._npages and self._programmed[ppn] != 0
 
     def next_free_page(self, pbn: int) -> int:
         """Lowest page offset still programmable in ascending order
@@ -276,10 +301,10 @@ class FlashArray:
 
     def peek_data(self, ppn: int) -> Any:
         """Direct state access for tests (bypasses commands and counters)."""
-        return self._data.get(ppn)
+        return self._data[ppn]
 
     def peek_oob(self, ppn: int) -> Any:
-        return self._oob.get(ppn)
+        return self._oob[ppn]
 
     @property
     def powered_off(self) -> bool:
@@ -296,8 +321,7 @@ class FlashArray:
 
     # -- accounting ----------------------------------------------------------------
 
-    def _account(self, command: FlashCommand, op: str, die: int,
-                 latency: float) -> None:
+    def _account(self, command: FlashCommand, op: str, die: int, latency: float) -> None:
         """Per-command telemetry: origin-labelled counter, busy time, and
         (when tracing) one ``flash.cmd`` event.  Called before failure
         checks raise, so attempted-but-failed commands are counted exactly
@@ -312,8 +336,7 @@ class FlashArray:
                 trace.emit("flash.cmd", op=op, die=die, latency_us=latency,
                            origin=origin, path=ctx.path(), ctx=ctx.ctx_id)
             else:
-                trace.emit("flash.cmd", op=op, die=die, latency_us=latency,
-                           origin=origin)
+                trace.emit("flash.cmd", op=op, die=die, latency_us=latency, origin=origin)
 
     # -- command execution -------------------------------------------------------
 
@@ -368,48 +391,45 @@ class FlashArray:
         ppn = command.ppn
         if not self.is_programmed(ppn):
             raise ReadUnwrittenError(f"read of unwritten page ppn={ppn}")
-        self.fault_injector.check_read(
-            ppn, self.geometry.block_of_ppn(ppn), self.geometry.die_of_ppn(ppn)
-        )
+        pbn = ppn // self._pages_per_block
+        die = pbn // self._blocks_per_die
+        self.fault_injector.check_read(ppn, pbn, die)
         self._verify_checksum(ppn)
         self.counters.reads += 1
-        die = self._bump_die(ppn)
-        latency = self.timing.read_latency_us(self.geometry.page_bytes)
+        self.counters.per_die_ops[die] += 1
+        latency = self._read_latency_us
         self.counters.busy_us += latency
         self._account(command, "read", die, latency)
         return CommandResult(
             command,
             latency_us=latency,
             die=die,
-            data=self._data.get(ppn),
-            oob=self._oob.get(ppn),
+            data=self._data[ppn],
+            oob=self._oob[ppn],
         )
 
     def _program(self, command: ProgramPage) -> CommandResult:
         ppn = command.ppn
-        pbn = self.geometry.block_of_ppn(ppn)
-        offset = self.geometry.page_offset_of_ppn(ppn)
+        pbn = ppn // self._pages_per_block
+        offset = ppn - pbn * self._pages_per_block
+        die = pbn // self._blocks_per_die
         # Outage check first: the die never saw the command, nothing is
         # consumed, the caller may retry the identical program.
-        failed = self.fault_injector.check_program(
-            ppn, pbn, self.geometry.die_of_ppn(ppn)
-        )
+        failed = self.fault_injector.check_program(ppn, pbn, die)
         self._check_programmable(ppn, pbn, offset)
         self._next_page[pbn] = offset + 1
-        self._programmed.add(ppn)
+        self._programmed[ppn] = 1
         if self.store_data:
             self._data[ppn] = command.data
-            if self.checksum:
-                crc = page_checksum(command.data)
-                # A failed program leaves indeterminate bits behind: keep
-                # the payload but poison the CRC so any later read of the
-                # consumed page surfaces as an uncorrectable (torn) page.
-                self._crc[ppn] = (crc ^ 0xFFFFFFFF) if failed and crc is not None \
-                    else crc
+            # A failed program leaves indeterminate bits behind: keep the
+            # payload but poison the page so any later read of the
+            # consumed slot surfaces as an uncorrectable (torn) page.
+            if failed and self.checksum and command.data is not None:
+                self._poisoned[ppn] = 1
         self._oob[ppn] = command.oob
         self.counters.programs += 1
-        die = self._bump_die(ppn)
-        latency = self.timing.program_latency_us(self.geometry.page_bytes)
+        self.counters.per_die_ops[die] += 1
+        latency = self._program_latency_us
         self.counters.busy_us += latency
         self._account(command, "program", die, latency)
         if failed:
@@ -421,9 +441,7 @@ class FlashArray:
         self.geometry._check_block(pbn)
         if self._bad[pbn]:
             raise BadBlockError(f"erase of bad block pbn={pbn}")
-        failed = self.fault_injector.check_erase(
-            pbn, self.geometry.die_of_block(pbn)
-        )
+        failed = self.fault_injector.check_erase(pbn, self.geometry.die_of_block(pbn))
         if failed:
             # The erase pulse failed; the block is retired on the spot
             # (same contract as BlockWornOut: marked bad before raising).
@@ -434,13 +452,10 @@ class FlashArray:
         self.counters.erases += 1
         die = self.geometry.die_of_block(pbn)
         self.counters.per_die_ops[die] += 1
-        latency = self.timing.erase_latency_us()
+        latency = self._erase_latency_us
         self.counters.busy_us += latency
         self._account(command, "erase", die, latency)
-        if (
-            self.max_erase_cycles is not None
-            and self.erase_counts[pbn] > self.max_erase_cycles
-        ):
+        if (self.max_erase_cycles is not None and self.erase_counts[pbn] > self.max_erase_cycles):
             self._bad[pbn] = True
             raise BlockWornOut(pbn, self.erase_counts[pbn])
         return CommandResult(command, latency_us=latency, die=die)
@@ -459,26 +474,24 @@ class FlashArray:
         # checksum damage surface here, *before* the destination slot is
         # consumed, so the caller can fall back to read-retry + program
         # against the very same destination page.
-        self.fault_injector.check_read(
-            src, self.geometry.block_of_ppn(src), die, op="copyback"
-        )
+        self.fault_injector.check_read(src, self.geometry.block_of_ppn(src), die, op="copyback")
         self._verify_checksum(src)
-        dst_pbn = self.geometry.block_of_ppn(dst)
-        dst_offset = self.geometry.page_offset_of_ppn(dst)
+        dst_pbn = dst // self._pages_per_block
+        dst_offset = dst - dst_pbn * self._pages_per_block
         failed = self.fault_injector.check_program(dst, dst_pbn, die)
         self._check_programmable(dst, dst_pbn, dst_offset)
         self._next_page[dst_pbn] = dst_offset + 1
-        self._programmed.add(dst)
+        self._programmed[dst] = 1
         if self.store_data:
-            self._data[dst] = self._data.get(src)
-            if self.checksum:
-                crc = self._crc.get(src)
-                self._crc[dst] = (crc ^ 0xFFFFFFFF) if failed and crc is not None \
-                    else crc
-        self._oob[dst] = command.oob if command.oob is not None else self._oob.get(src)
+            self._data[dst] = self._data[src]
+            # The source passed verification above, so its poison bit is
+            # clear; only a failed program of real payload taints the copy.
+            if failed and self.checksum and self._data[src] is not None:
+                self._poisoned[dst] = 1
+        self._oob[dst] = command.oob if command.oob is not None else self._oob[src]
         self.counters.copybacks += 1
-        self._bump_die(src)
-        latency = self.timing.copyback_latency_us()
+        self.counters.per_die_ops[die] += 1
+        latency = self._copyback_latency_us
         self.counters.busy_us += latency
         self._account(command, "copyback", die, latency)
         if failed:
@@ -497,22 +510,19 @@ class FlashArray:
         ppn = command.ppn
         if not self.is_programmed(ppn):
             raise ReadUnwrittenError(f"OOB read of unwritten page ppn={ppn}")
-        self.fault_injector.check_read(
-            ppn, self.geometry.block_of_ppn(ppn),
-            self.geometry.die_of_ppn(ppn), op="oob_read",
-        )
+        pbn = ppn // self._pages_per_block
+        die = pbn // self._blocks_per_die
+        self.fault_injector.check_read(ppn, pbn, die, op="oob_read")
         # OOB is covered by the page's ECC: a torn/corrupted page must
         # fail its OOB read too, or a cold-start scan would happily adopt
         # the mapping of a page whose payload is garbage.
         self._verify_checksum(ppn)
         self.counters.oob_reads += 1
-        die = self._bump_die(ppn)
-        latency = self.timing.cmd_overhead_us + self.timing.read_us + \
-            self.timing.transfer_us(self.geometry.oob_bytes)
+        self.counters.per_die_ops[die] += 1
+        latency = self._oob_latency_us
         self.counters.busy_us += latency
         self._account(command, "oob_read", die, latency)
-        return CommandResult(command, latency_us=latency, die=die,
-                             oob=self._oob.get(ppn))
+        return CommandResult(command, latency_us=latency, die=die, oob=self._oob[ppn])
 
     # -- power loss -----------------------------------------------------------------
 
@@ -521,12 +531,12 @@ class FlashArray:
         for the in-flight command, switch the device off, and unwind.
 
         * in-flight PROGRAM / COPYBACK — the destination page is consumed
-          (high-water mark advanced, payload partially latched) but its
-          CRC is poisoned: a torn page that fails checksum on both data
-          and OOB reads;
+          (high-water mark advanced, payload partially latched) but it is
+          poisoned: a torn page that fails checksum on both data and OOB
+          reads;
         * in-flight ERASE — a half-erased block: every still-programmed
-          page's charge is disturbed (CRC poisoned), the erase count is
-          *not* advanced and the block is not wiped;
+          page's charge is disturbed (poisoned), the erase count is *not*
+          advanced and the block is not wiped;
         * read-class commands and Pause/Identify — no device state to
           tear; the command simply never completes.
         """
@@ -535,9 +545,8 @@ class FlashArray:
         elif isinstance(command, Copyback):
             src, dst = command.src_ppn, command.dst_ppn
             if self.geometry.same_plane(src, dst) and self.is_programmed(src):
-                oob = command.oob if command.oob is not None \
-                    else self._oob.get(src)
-                self._tear_program(dst, self._data.get(src), oob)
+                oob = command.oob if command.oob is not None else self._oob[src]
+                self._tear_program(dst, self._data[src], oob)
         elif isinstance(command, EraseBlock):
             self._tear_erase(command.pbn)
         self._powered_off = True
@@ -550,31 +559,31 @@ class FlashArray:
     def _tear_program(self, ppn: int, data: Any, oob: Any) -> None:
         """Consume ``ppn`` as a torn page (only when the program would
         have been legal — an illegal command leaves no wreckage)."""
-        pbn = self.geometry.block_of_ppn(ppn)
-        offset = self.geometry.page_offset_of_ppn(ppn)
+        pbn = ppn // self._pages_per_block
+        offset = ppn - pbn * self._pages_per_block
         try:
             self._check_programmable(ppn, pbn, offset)
         except FlashError:
             return
         self._next_page[pbn] = offset + 1
-        self._programmed.add(ppn)
+        self._programmed[ppn] = 1
         if self.store_data:
             self._data[ppn] = data
             if self.checksum:
-                crc = page_checksum(data)
-                self._crc[ppn] = 0 if crc is None else crc ^ 0xFFFFFFFF
+                self._poisoned[ppn] = 1
         self._oob[ppn] = oob
 
     def _tear_erase(self, pbn: int) -> None:
         """Interrupted erase pulse: pages keep their programmed status but
         every one of them now fails its checksum (half-erased charge)."""
-        if self._bad[pbn]:
+        if self._bad[pbn] or not (self.checksum and self.store_data):
             return
-        base = pbn * self.geometry.pages_per_block
+        base = pbn * self._pages_per_block
+        programmed = self._programmed
+        poisoned = self._poisoned
         for ppn in range(base, base + self._next_page[pbn]):
-            if ppn in self._programmed and self.checksum and self.store_data:
-                crc = self._crc.get(ppn)
-                self._crc[ppn] = 0 if crc is None else crc ^ 0xFFFFFFFF
+            if programmed[ppn]:
+                poisoned[ppn] = 1
 
     # -- helpers --------------------------------------------------------------------
 
@@ -584,31 +593,21 @@ class FlashArray:
         self._bad[pbn] = True
 
     def corrupt_page(self, ppn: int) -> None:
-        """Test/chaos hook: flip the stored CRC of a programmed page so the
-        next read fails its checksum (a silent-corruption event)."""
-        if ppn not in self._programmed:
+        """Test/chaos hook: poison a programmed page so the next read
+        fails its checksum (a silent-corruption event)."""
+        if not self.is_programmed(ppn):
             raise ReadUnwrittenError(f"cannot corrupt unwritten page ppn={ppn}")
-        crc = self._crc.get(ppn)
-        self._crc[ppn] = 0 if crc is None else crc ^ 0xFFFFFFFF
+        self._poisoned[ppn] = 1
 
     def _verify_checksum(self, ppn: int) -> None:
-        if not (self.checksum and self.store_data):
-            return
-        stored = self._crc.get(ppn)
-        if stored is None:
-            return
-        if page_checksum(self._data.get(ppn)) != stored:
-            raise UncorrectableError(
-                f"checksum mismatch at ppn={ppn} (torn/corrupted page)"
-            )
+        if self._poisoned[ppn] and self.checksum and self.store_data:
+            raise UncorrectableError(f"checksum mismatch at ppn={ppn} (torn/corrupted page)")
 
     def _check_programmable(self, ppn: int, pbn: int, offset: int) -> None:
         if self._bad[pbn]:
             raise BadBlockError(f"program into bad block pbn={pbn}")
-        if ppn in self._programmed:
-            raise OverwriteError(
-                f"page {offset} of block {pbn} already programmed"
-            )
+        if self._programmed[ppn]:
+            raise OverwriteError(f"page {offset} of block {pbn} already programmed")
         if offset < self._next_page[pbn]:
             raise ProgramSequenceError(
                 f"block {pbn}: programming page {offset} after page "
@@ -616,15 +615,12 @@ class FlashArray:
             )
 
     def _wipe_block(self, pbn: int) -> None:
-        base = pbn * self.geometry.pages_per_block
-        for ppn in range(base, base + self._next_page[pbn]):
-            self._data.pop(ppn, None)
-            self._oob.pop(ppn, None)
-            self._crc.pop(ppn, None)
-            self._programmed.discard(ppn)
+        base = pbn * self._pages_per_block
+        top = base + self._next_page[pbn]
+        if top > base:
+            count = top - base
+            self._data[base:top] = [None] * count
+            self._oob[base:top] = [None] * count
+            self._programmed[base:top] = bytes(count)
+            self._poisoned[base:top] = bytes(count)
         self._next_page[pbn] = 0
-
-    def _bump_die(self, ppn: int) -> int:
-        die = self.geometry.die_of_ppn(ppn)
-        self.counters.per_die_ops[die] += 1
-        return die

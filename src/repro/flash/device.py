@@ -139,18 +139,14 @@ class SimFlashDevice:
             self.telemetry.histogram("flash.queue_wait_us", layer="flash", die=die)
             for die in range(self.geometry.total_dies)
         ]
-        self._tm_service = self.telemetry.histogram(
-            "flash.service_us", layer="flash"
-        )
+        self._tm_service = self.telemetry.histogram("flash.service_us", layer="flash")
         # TimingSpec is frozen, so the per-phase delays are constants of
         # this device; computing them per command showed up in profiles.
         timing = array.timing
         page_bytes = self.geometry.page_bytes
         self._read_sense_us = timing.cmd_overhead_us + timing.read_us
         self._page_transfer_us = timing.transfer_us(page_bytes)
-        self._program_transfer_us = (
-            timing.cmd_overhead_us + self._page_transfer_us
-        )
+        self._program_transfer_us = (timing.cmd_overhead_us + self._page_transfer_us)
         self._program_cell_us = timing.program_us
 
     @property
@@ -185,9 +181,7 @@ class SimFlashDevice:
         self._tm_queue_wait[die].observe(wait)
         behind_gc = 0.0
         if wait > 0:
-            behind_gc = min(
-                wait, busy_by_class["maintenance"] - maintenance_before
-            )
+            behind_gc = min(wait, busy_by_class["maintenance"] - maintenance_before)
         try:
             # State transition happens when the die starts the command;
             # per-die FIFO queuing makes this consistent with issue order.

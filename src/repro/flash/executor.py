@@ -41,9 +41,7 @@ FlashOp = Generator
 
 def _check_command(command: Any) -> FlashCommand:
     if not isinstance(command, FlashCommand):
-        raise TypeError(
-            f"flash operation yielded {command!r}, expected FlashCommand"
-        )
+        raise TypeError(f"flash operation yielded {command!r}, expected FlashCommand")
     return command
 
 
@@ -87,20 +85,25 @@ class SyncExecutor:
 
     def run(self, operation: FlashOp, ctx: Optional[OpContext] = None) -> Any:
         """Drive ``operation``; returns its ``return`` value."""
+        # Bound-method hoists: this loop runs once per flash command and
+        # dominates trace replay, so the dispatch overhead matters.
+        send = operation.send
+        throw = operation.throw
+        execute = self.device.execute
         try:
-            command = _check_command(operation.send(None))
+            command = _check_command(send(None))
             while True:
                 origin = _prepare(command, ctx)
                 try:
-                    result = self.device.execute(command)
+                    result = execute(command)
                 except FlashError as exc:
                     # Let the operation handle (or re-raise) the failure;
                     # throw() resumes it and returns its next command.
-                    command = _check_command(operation.throw(exc))
+                    command = _check_command(throw(exc))
                 else:
                     if ctx is not None:
                         _charge(ctx, command, origin, result)
-                    command = _check_command(operation.send(result))
+                    command = _check_command(send(result))
         except StopIteration as stop:
             return stop.value
 
@@ -117,17 +120,20 @@ class SimExecutor:
         self.sim = device.sim
 
     def run(self, operation: FlashOp, ctx: Optional[OpContext] = None):
+        send = operation.send
+        throw = operation.throw
+        execute = self.device.execute
         try:
-            command = _check_command(operation.send(None))
+            command = _check_command(send(None))
             while True:
                 origin = _prepare(command, ctx)
                 try:
-                    result = yield from self.device.execute(command)
+                    result = yield from execute(command)
                 except FlashError as exc:
-                    command = _check_command(operation.throw(exc))
+                    command = _check_command(throw(exc))
                 else:
                     if ctx is not None:
                         _charge(ctx, command, origin, result)
-                    command = _check_command(operation.send(result))
+                    command = _check_command(send(result))
         except StopIteration as stop:
             return stop.value

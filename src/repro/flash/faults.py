@@ -158,14 +158,11 @@ class _LiveSpec:
         self.spec = spec
         self.remaining = spec.count
 
-    def matches(self, op: int, ppn: Optional[int], pbn: Optional[int],
-                die: Optional[int]) -> bool:
+    def matches(self, op: int, ppn: Optional[int], pbn: Optional[int], die: Optional[int]) -> bool:
         spec = self.spec
         if self.remaining is not None and self.remaining <= 0:
             return False
-        if spec.window is not None and not (
-            spec.window[0] <= op < spec.window[1]
-        ):
+        if spec.window is not None and not (spec.window[0] <= op < spec.window[1]):
             return False
         if spec.ppn is not None and spec.ppn != ppn:
             return False
@@ -257,8 +254,7 @@ class FaultInjector:
                 self._fire(live, (die,))
                 raise DieOutageError(die)
 
-    def check_read(self, ppn: int, pbn: int, die: int,
-                   op: str = "read") -> None:
+    def check_read(self, ppn: int, pbn: int, die: int, op: str = "read") -> None:
         """Raise for a read-class access (READ PAGE, OOB read, the read
         leg of COPYBACK).  Outage first — the die never saw the command —
         then media faults."""
@@ -270,9 +266,7 @@ class FaultInjector:
                 continue
             if live.matches(self.ops, ppn, pbn, die) and self._roll(live):
                 self._fire(live, (die, op, ppn))
-                raise UncorrectableError(
-                    f"injected {live.spec.kind} at ppn={ppn} ({op})"
-                )
+                raise UncorrectableError(f"injected {live.spec.kind} at ppn={ppn} ({op})")
 
     def check_program(self, ppn: int, pbn: int, die: int) -> bool:
         """True when this PAGE PROGRAM must fail (page consumed, corrupt).
@@ -320,8 +314,7 @@ class FaultInjector:
                 continue
             if spec.at_op is not None and self.ops != spec.at_op:
                 continue
-            if spec.predicate is not None and \
-                    not spec.predicate(self.ops, command):
+            if spec.predicate is not None and not spec.predicate(self.ops, command):
                 continue
             self._fire(live, (None, "power_cut", self.ops))
             return True

@@ -86,16 +86,10 @@ class TimingSpec:
 
 # Datasheet-class presets.  bus at 100 MB/s ~ asynchronous/ONFI-1 era parts,
 # matching the paper's commodity-SSD framing.
-SLC_TIMING = TimingSpec("SLC", read_us=25.0, program_us=200.0, erase_us=1500.0,
-                        bus_mb_per_s=100.0)
-MLC_TIMING = TimingSpec("MLC", read_us=50.0, program_us=600.0, erase_us=3000.0,
-                        bus_mb_per_s=100.0)
-TLC_TIMING = TimingSpec("TLC", read_us=75.0, program_us=900.0, erase_us=4500.0,
-                        bus_mb_per_s=100.0)
+SLC_TIMING = TimingSpec("SLC", read_us=25.0, program_us=200.0, erase_us=1500.0, bus_mb_per_s=100.0)
+MLC_TIMING = TimingSpec("MLC", read_us=50.0, program_us=600.0, erase_us=3000.0, bus_mb_per_s=100.0)
+TLC_TIMING = TimingSpec("TLC", read_us=75.0, program_us=900.0, erase_us=4500.0, bus_mb_per_s=100.0)
 OPENSSD_JASMINE = TimingSpec("OpenSSD-Jasmine", read_us=60.0, program_us=800.0,
                              erase_us=3500.0, bus_mb_per_s=133.0)
 
-TIMING_PRESETS = {
-    spec.name: spec
-    for spec in (SLC_TIMING, MLC_TIMING, TLC_TIMING, OPENSSD_JASMINE)
-}
+TIMING_PRESETS = {spec.name: spec for spec in (SLC_TIMING, MLC_TIMING, TLC_TIMING, OPENSSD_JASMINE)}

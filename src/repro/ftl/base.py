@@ -23,6 +23,7 @@ __all__ = [
     "BaseFTL",
     "MappingState",
     "BlockPool",
+    "VictimBuckets",
     "relocate_page",
     "read_page_with_retry",
     "UNMAPPED",
@@ -114,19 +115,12 @@ class BaseFTL:
         # private ones otherwise, so instrumentation is always live.  The
         # collector exposes the classic FTLStats counters in snapshots.
         self.telemetry = telemetry or MetricsRegistry()
-        self.trace = trace if trace is not None \
-            else EventTrace(clock=self.telemetry.now)
-        self.telemetry.register_collector(
-            f"ftl.{type(self).__name__}", self.stats.snapshot
-        )
+        self.trace = trace if trace is not None else EventTrace(clock=self.telemetry.now)
+        self.telemetry.register_collector(f"ftl.{type(self).__name__}", self.stats.snapshot)
         # Shared recovery counters: every FTL's read path retries through
         # these, so chaos dashboards see one family per layer.
-        self._tm_read_retries = self.telemetry.counter(
-            "ftl.read_retries", layer="ftl"
-        )
-        self._tm_relocation_skips = self.telemetry.counter(
-            "ftl.gc.relocation_skips", layer="ftl"
-        )
+        self._tm_read_retries = self.telemetry.counter("ftl.read_retries", layer="ftl")
+        self._tm_relocation_skips = self.telemetry.counter("ftl.gc.relocation_skips", layer="ftl")
 
     @property
     def name(self) -> str:
@@ -142,9 +136,7 @@ class BaseFTL:
 
     def _check_lpn(self, lpn: int) -> None:
         if not 0 <= lpn < self.logical_pages:
-            raise ValueError(
-                f"lpn {lpn} outside logical space 0..{self.logical_pages - 1}"
-            )
+            raise ValueError(f"lpn {lpn} outside logical space 0..{self.logical_pages - 1}")
 
     def read(self, lpn: int):  # pragma: no cover - interface
         raise NotImplementedError
@@ -182,6 +174,14 @@ class MappingState:
         self.valid_in_block = _array("l", [0]) * geometry.total_blocks
         self.block_write_time = _array("q", [0]) * geometry.total_blocks
         self.clock = 0
+        self._pages_per_block = geometry.pages_per_block
+        #: Per-block watcher slot: a :class:`VictimBuckets` instance (or
+        #: None) notified whenever the block's valid count changes, so GC
+        #: victim structures track validity at O(1) per bind/invalidate.
+        #: Blocks of different allocation domains (planes, regions) are
+        #: disjoint, so one flat slot array serves every space sharing
+        #: this mapping.
+        self.block_watch: List[Optional["VictimBuckets"]] = [None] * geometry.total_blocks
 
     def lookup(self, lpn: int) -> int:
         return self.l2p[lpn]
@@ -193,10 +193,14 @@ class MappingState:
             self.invalidate_ppn(old)
         self.l2p[lpn] = ppn
         self.p2l[ppn] = lpn
-        pbn = self.geometry.block_of_ppn(ppn)
-        self.valid_in_block[pbn] += 1
+        pbn = ppn // self._pages_per_block
+        valid = self.valid_in_block[pbn] + 1
+        self.valid_in_block[pbn] = valid
         self.clock += 1
         self.block_write_time[pbn] = self.clock
+        watcher = self.block_watch[pbn]
+        if watcher is not None:
+            watcher.on_valid_changed(pbn, valid)
 
     def unbind(self, lpn: int) -> None:
         """Drop the mapping entirely (trim)."""
@@ -209,10 +213,14 @@ class MappingState:
         if self.p2l[ppn] == UNMAPPED:
             raise ValueError(f"double invalidation of ppn {ppn}")
         self.p2l[ppn] = UNMAPPED
-        pbn = self.geometry.block_of_ppn(ppn)
-        if self.valid_in_block[pbn] <= 0:
+        pbn = ppn // self._pages_per_block
+        valid = self.valid_in_block[pbn] - 1
+        if valid < 0:
             raise ValueError(f"valid count underflow on block {pbn}")
-        self.valid_in_block[pbn] -= 1
+        self.valid_in_block[pbn] = valid
+        watcher = self.block_watch[pbn]
+        if watcher is not None:
+            watcher.on_valid_changed(pbn, valid)
 
     def valid_lpns_of_block(self, pbn: int) -> List[tuple]:
         """(page_offset, lpn) pairs still valid inside ``pbn``."""
@@ -266,6 +274,109 @@ class BlockPool:
         return list(self._free)
 
 
+class VictimBuckets:
+    """O(1) greedy GC victim selection via invalid-count bucket lists
+    (after Dayan & Bonnet, "GC Techniques for Flash-Resident Page-Mapping
+    FTLs").
+
+    Member blocks — the *occupied* (fully written, no longer active)
+    blocks of one allocation domain — live in one bucket per valid-page
+    count, each bucket an insertion-ordered dict (FIFO tie-break).  A
+    lazy minimum pointer makes the greedy pick amortized O(1): host
+    writes land on active blocks, which are not members, so a member's
+    valid count normally only *decreases*; the pointer therefore only
+    needs to walk upward when its bucket drains, and is pulled back down
+    on the rare insert/update below it.
+
+    The structure registers itself in
+    :attr:`MappingState.block_watch` for each member, so mapping-table
+    binds/invalidations keep the buckets current at one list probe plus
+    one dict move per event.
+    """
+
+    __slots__ = ("_buckets", "_bucket_of", "_min")
+
+    def __init__(self, pages_per_block: int):
+        # Index == valid count; the last bucket (== pages_per_block)
+        # holds fully valid blocks, which greedy never selects.
+        self._buckets: List[dict] = [{} for _ in range(pages_per_block + 1)]
+        self._bucket_of: Dict[int, int] = {}
+        self._min = pages_per_block + 1
+
+    def __contains__(self, pbn: int) -> bool:
+        return pbn in self._bucket_of
+
+    def __len__(self) -> int:
+        return len(self._bucket_of)
+
+    def __iter__(self):
+        return iter(self._bucket_of)
+
+    def add(self, pbn: int, valid: int) -> None:
+        """Admit ``pbn`` with its current valid count (idempotent: an
+        existing member is moved to the ``valid`` bucket)."""
+        old = self._bucket_of.get(pbn)
+        if old is not None:
+            if old == valid:
+                return
+            del self._buckets[old][pbn]
+        self._bucket_of[pbn] = valid
+        self._buckets[valid][pbn] = None
+        if valid < self._min:
+            self._min = valid
+
+    def discard(self, pbn: int) -> None:
+        """Drop ``pbn`` from the structure (no-op for non-members)."""
+        old = self._bucket_of.pop(pbn, None)
+        if old is not None:
+            del self._buckets[old][pbn]
+
+    def on_valid_changed(self, pbn: int, valid: int) -> None:
+        """Mapping-state hook: move a member to its new bucket."""
+        old = self._bucket_of.get(pbn)
+        if old is None or old == valid:
+            return
+        del self._buckets[old][pbn]
+        self._buckets[valid][pbn] = None
+        self._bucket_of[pbn] = valid
+        if valid < self._min:
+            self._min = valid
+
+    def valid_of(self, pbn: int) -> Optional[int]:
+        return self._bucket_of.get(pbn)
+
+    def min_victim(self, skip=()) -> Optional[int]:
+        """Oldest member of the lowest non-empty bucket, excluding fully
+        valid blocks (nothing to gain) and any block in ``skip``.
+
+        Amortized O(1): the lazy minimum pointer resumes where it last
+        stopped and never revisits drained buckets until an insert below
+        it pulls it back down.
+        """
+        buckets = self._buckets
+        full = len(buckets) - 1
+        index = self._min
+        while index < full and not buckets[index]:
+            index += 1
+        self._min = index
+        if index >= full:
+            return None
+        if not skip:
+            return next(iter(buckets[index]))
+        while index < full:
+            for pbn in buckets[index]:
+                if pbn not in skip:
+                    return pbn
+            index += 1
+        return None
+
+    def clear(self) -> None:
+        for bucket in self._buckets:
+            bucket.clear()
+        self._bucket_of.clear()
+        self._min = len(self._buckets)
+
+
 def read_page_with_retry(ppn: int, *, stats: Optional[FTLStats] = None,
                          counter=None, retries: int = 4,
                          outage_retries: int = 150,
@@ -303,8 +414,7 @@ def read_page_with_retry(ppn: int, *, stats: Optional[FTLStats] = None,
             waits += 1
             if waits > outage_retries:
                 raise
-            yield Pause(duration_us=min(backoff_us * (2 ** min(waits, 5)),
-                                        2000.0))
+            yield Pause(duration_us=min(backoff_us * (2 ** min(waits, 5)), 2000.0))
 
 
 def relocate_page(geometry: Geometry, src_ppn: int, dst_ppn: int,

@@ -4,13 +4,18 @@ One mapping entry per *logical block*; a page update that cannot append in
 place forces a read-modify-write of the whole block.  Kept as the lower
 anchor of the FTL spectrum the related-work section spans (page-, block-
 and hybrid-mapping FTLs).
+
+State is flat: the lbn -> pbn table and per-block fill marks are typed
+arrays, the per-page written flags one bytearray bitmap over the logical
+page space — the same representation the page-mapped engine uses.
 """
 
 from __future__ import annotations
 
 import random
+from array import array as _array
 from collections import deque
-from typing import Deque, Dict, Iterable, Optional
+from typing import Deque, Iterable, Optional
 
 from ..flash.commands import EraseBlock, ProgramPage, tag_commands
 from ..flash.errors import BlockWornOut
@@ -43,19 +48,19 @@ class BlockMapFTL(BaseFTL):
             pbn for pbn in range(geometry.total_blocks) if pbn not in bad
         )
         self._rng = rng or random.Random(0)
-        self.block_map: Dict[int, int] = {}
+        self.block_map = _array("q", [UNMAPPED]) * self.logical_blocks
         # High-water mark of programmed pages per mapped physical block;
         # pages below it hold data (valid unless rewritten => whole-block RMW).
-        self._fill: Dict[int, int] = {}
-        # Per-page written bitmap per lbn (a page may be skipped).
-        self._written: Dict[int, set] = {}
+        self._fill = _array("l", [0]) * self.logical_blocks
+        # Written bitmap over the logical page space (a page may be skipped).
+        self._written = bytearray(self.logical_pages)
 
     def read(self, lpn: int):
         self._check_lpn(lpn)
         self.stats.host_reads += 1
         lbn, offset = divmod(lpn, self.geometry.pages_per_block)
-        pbn = self.block_map.get(lbn, UNMAPPED)
-        if pbn == UNMAPPED or offset not in self._written.get(lbn, ()):
+        pbn = self.block_map[lbn]
+        if pbn == UNMAPPED or not self._written[lpn]:
             return None
         result, __ = yield from read_page_with_retry(
             self.geometry.ppn_of(pbn, offset),
@@ -67,49 +72,45 @@ class BlockMapFTL(BaseFTL):
         self._check_lpn(lpn)
         self.stats.host_writes += 1
         lbn, offset = divmod(lpn, self.geometry.pages_per_block)
-        pbn = self.block_map.get(lbn, UNMAPPED)
+        pbn = self.block_map[lbn]
         if pbn == UNMAPPED:
             pbn = self._take_block()
             self.block_map[lbn] = pbn
             self._fill[lbn] = 0
-            self._written[lbn] = set()
         if offset >= self._fill[lbn]:
             # Appending in ascending order is allowed in place.
-            yield ProgramPage(ppn=self.geometry.ppn_of(pbn, offset),
-                              data=data, oob={"lpn": lpn})
+            yield ProgramPage(ppn=self.geometry.ppn_of(pbn, offset), data=data, oob={"lpn": lpn})
             self._fill[lbn] = offset + 1
-            self._written[lbn].add(offset)
+            self._written[lpn] = 1
             return
         # Rewrite below the high-water mark: whole-block read-modify-write.
         # The triggering program is host work, but the block relocation it
         # forces is FTL maintenance — tagged "merge" so the attribution
         # engine can blame it for the latency it induces.
-        yield from tag_commands(
-            self._rewrite_block(lbn, pbn, offset, data), OpContext("merge")
-        )
+        yield from tag_commands(self._rewrite_block(lbn, pbn, offset, data), OpContext("merge"))
 
     def _rewrite_block(self, lbn: int, old_pbn: int, offset: int, data):
         new_pbn = self._take_block()
-        written = self._written[lbn]
-        new_written = set()
+        pages_per_block = self.geometry.pages_per_block
+        base = lbn * pages_per_block
+        new_written = bytearray(pages_per_block)
         high = 0
-        for page in range(self.geometry.pages_per_block):
+        for page in range(pages_per_block):
             dst = self.geometry.ppn_of(new_pbn, page)
             if page == offset:
-                yield ProgramPage(ppn=dst, data=data, oob={"lpn": lbn * self.geometry.pages_per_block + page})
-                new_written.add(page)
+                yield ProgramPage(ppn=dst, data=data, oob={"lpn": base + page})
+                new_written[page] = 1
                 high = page + 1
-            elif page in written:
+            elif self._written[base + page]:
                 src = self.geometry.ppn_of(old_pbn, page)
-                ok = yield from relocate_page(self.geometry, src, dst,
-                                              self.stats)
+                ok = yield from relocate_page(self.geometry, src, dst, self.stats)
                 if not ok:
                     self._tm_relocation_skips.inc()
                     continue  # unreadable source: recorded, page dropped
-                new_written.add(page)
+                new_written[page] = 1
                 high = page + 1
         self.block_map[lbn] = new_pbn
-        self._written[lbn] = new_written
+        self._written[base:base + pages_per_block] = new_written
         self._fill[lbn] = high
         try:
             yield EraseBlock(pbn=old_pbn)

@@ -27,6 +27,7 @@ TPC traces.
 from __future__ import annotations
 
 import random
+from array import array as _array
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Set
 
@@ -40,7 +41,7 @@ from ..flash.commands import (
 from ..flash.errors import BlockWornOut, DieOutageError, UncorrectableError
 from ..flash.geometry import Geometry
 from ..telemetry import EventTrace, MetricsRegistry, OpContext
-from .base import BaseFTL, read_page_with_retry, relocate_page
+from .base import UNMAPPED, BaseFTL, read_page_with_retry, relocate_page
 
 __all__ = ["FASTer"]
 
@@ -89,9 +90,7 @@ class FASTer(BaseFTL):
         self._rng = rng or random.Random(0)
 
         bad = set(bad_blocks)
-        good_blocks = [
-            pbn for pbn in range(geometry.total_blocks) if pbn not in bad
-        ]
+        good_blocks = [pbn for pbn in range(geometry.total_blocks) if pbn not in bad]
         self._free: Deque[int] = deque(good_blocks)
         if log_stripes < 1:
             raise ValueError("log_stripes must be >= 1")
@@ -99,22 +98,26 @@ class FASTer(BaseFTL):
         # round-robin over several active log blocks so log writes exploit
         # die parallelism (a single tail would serialize at one die).
         self.log_stripes = log_stripes
-        self.log_blocks_max = max(2 + log_stripes,
-                                  int(len(good_blocks) * log_fraction))
+        self.log_blocks_max = max(2 + log_stripes, int(len(good_blocks) * log_fraction))
 
-        # data area
-        self.block_map: Dict[int, int] = {}
-        self._data_fill: Dict[int, int] = {}     # lbn -> high-water offset
-        self._data_written: Dict[int, Set[int]] = {}
+        # data area — flat per-lbn arrays plus one written bitmap over the
+        # logical page space (same representation the page-mapped engine
+        # and the block-map FTL use).
+        self.block_map = _array("q", [UNMAPPED]) * self.logical_blocks
+        self._data_fill = _array("l", [0]) * self.logical_blocks
+        self._data_written = bytearray(self.logical_pages)
 
         # RW log area
         self._log_order: Deque[int] = deque()    # full log blocks, FIFO
         # stripe -> [pbn, next_offset] or None
         self._active_logs: List[Optional[list]] = [None] * log_stripes
         self._stripe_rr = 0
-        self._log_map: Dict[int, int] = {}       # lpn -> newest log ppn
+        # lpn -> newest log ppn (UNMAPPED when absent) + live-entry count.
+        self._log_map = _array("q", [UNMAPPED]) * self.logical_pages
+        self._log_live = 0
         self._log_block_entries: Dict[int, List] = {}  # pbn -> [(off, lpn)]
-        self._second_chanced: Set[int] = set()
+        self._second_chanced = bytearray(self.logical_pages)
+        self._second_chanced_live = 0
 
         # SW log block
         self._sw_lbn: Optional[int] = None
@@ -137,10 +140,8 @@ class FASTer(BaseFTL):
             "ftl.second_chances", layer="ftl", ftl="FASTer")
         self._tm_reclaim_us = self.telemetry.histogram(
             "ftl.log.reclaim_us", layer="ftl", ftl="FASTer")
-        self._tm_merge_us = self.telemetry.histogram(
-            "ftl.merge.full_us", layer="ftl", ftl="FASTer")
-        self._tm_relocations = self.telemetry.counter(
-            "ftl.relocations", layer="ftl")
+        self._tm_merge_us = self.telemetry.histogram("ftl.merge.full_us", layer="ftl", ftl="FASTer")
+        self._tm_relocations = self.telemetry.counter("ftl.relocations", layer="ftl")
 
     # -- host interface ---------------------------------------------------------
 
@@ -197,15 +198,14 @@ class FASTer(BaseFTL):
         them."""
         if lbn in self._merging:
             return False
-        if lbn not in self.block_map:
+        if self.block_map[lbn] == UNMAPPED:
             return True
         return offset >= self._data_fill[lbn]
 
     def _write_in_place(self, lbn: int, offset: int, data):
-        if lbn not in self.block_map:
+        if self.block_map[lbn] == UNMAPPED:
             self.block_map[lbn] = self._take_block()
             self._data_fill[lbn] = 0
-            self._data_written[lbn] = set()
         pbn = self.block_map[lbn]
         lpn = lbn * self.geometry.pages_per_block + offset
         # Claim the slot and retire any older log version *before*
@@ -216,10 +216,9 @@ class FASTer(BaseFTL):
         # die's FIFO guarantees our program lands before any read that
         # the new state routes here.
         self._data_fill[lbn] = max(self._data_fill[lbn], offset + 1)
-        self._data_written[lbn].add(offset)
+        self._data_written[lpn] = 1
         self._invalidate_log_entry(lpn)
-        yield ProgramPage(ppn=self.geometry.ppn_of(pbn, offset),
-                          data=data, oob={"lpn": lpn})
+        yield ProgramPage(ppn=self.geometry.ppn_of(pbn, offset), data=data, oob={"lpn": lpn})
 
     # -- SW log path -----------------------------------------------------------------
 
@@ -245,30 +244,35 @@ class FASTer(BaseFTL):
         """Switch merge (complete sequence) or partial merge (interrupted):
         promote the SW block to data block.  Flash work done here is merge
         maintenance, not the host write itself — tag it so."""
-        yield from tag_commands(self._sw_retire_body(partial),
-                                OpContext("merge"))
+        yield from tag_commands(self._sw_retire_body(partial), OpContext("merge"))
 
     def _sw_retire_body(self, partial: bool):
         lbn, pbn = self._sw_lbn, self._sw_pbn
         fill = self._sw_fill
+        pages_per_block = self.geometry.pages_per_block
+        base = lbn * pages_per_block
         self._sw_lbn = self._sw_pbn = None
         self._sw_fill = 0
         written = set(range(fill))
-        old_pbn = self.block_map.get(lbn)
+        old_pbn = self.block_map[lbn]
+        if old_pbn == UNMAPPED:
+            old_pbn = None
         if partial and old_pbn is not None:
             self.stats.merges_partial += 1
             self._tm_merges["partial"].inc()
-            # Fill the tail of the SW block from the newest versions.
-            old_written = self._data_written[lbn]
+            # Fill the tail of the SW block from the newest versions.  The
+            # written bitmap is read for the *old* block here and only
+            # rewritten after the loop, so the splice below cannot shadow
+            # these lookups.
             consumed = []
-            for offset in range(fill, self.geometry.pages_per_block):
-                lpn = lbn * self.geometry.pages_per_block + offset
-                from_log = lpn in self._log_map
-                src = self._log_map.get(lpn)
-                if src is None and offset in old_written:
+            for offset in range(fill, pages_per_block):
+                lpn = base + offset
+                src = self._log_map[lpn]
+                from_log = src != UNMAPPED
+                if not from_log:
+                    if not self._data_written[lpn]:
+                        continue
                     src = self.geometry.ppn_of(old_pbn, offset)
-                if src is None:
-                    continue
                 dst = self.geometry.ppn_of(pbn, offset)
                 ok = yield from relocate_page(self.geometry, src, dst,
                                               self.stats, oob={"lpn": lpn},
@@ -288,9 +292,12 @@ class FASTer(BaseFTL):
         # New block first, then retire log entries (see _full_merge_locked).
         self.block_map[lbn] = pbn
         self._data_fill[lbn] = (max(written) + 1) if written else 0
-        self._data_written[lbn] = written
+        new_bits = bytearray(pages_per_block)
+        for offset in written:
+            new_bits[offset] = 1
+        self._data_written[base:base + pages_per_block] = new_bits
         for lpn, src in consumed:
-            if self._log_map.get(lpn) == src:
+            if self._log_map[lpn] == src:
                 self._consume_log_entry(lpn)
         if old_pbn is not None:
             yield from self._erase_block(old_pbn)
@@ -310,6 +317,7 @@ class FASTer(BaseFTL):
         offset = self.geometry.page_offset_of_ppn(ppn)
         self._invalidate_log_entry(lpn)
         self._log_map[lpn] = ppn
+        self._log_live += 1
         self._log_block_entries[pbn].append((offset, lpn))
         yield ProgramPage(ppn=ppn, data=data, oob={"lpn": lpn})
 
@@ -336,16 +344,13 @@ class FASTer(BaseFTL):
             if active is not None:
                 self._log_order.append(active[0])
                 self._active_logs[stripe] = None
-            over_budget = (len(self._log_order) + self.log_stripes
-                           > self.log_blocks_max)
+            over_budget = (len(self._log_order) + self.log_stripes > self.log_blocks_max)
             if over_budget and self._reclaiming and not for_migration:
-                hard_over = (len(self._log_order)
-                             > self.log_blocks_max + 2 * self.log_stripes)
+                hard_over = (len(self._log_order) > self.log_blocks_max + 2 * self.log_stripes)
                 if hard_over:
                     # Waiting for the in-flight reclaim to free log space:
                     # GC backpressure, blamed as such.
-                    yield stamp_context(Pause(duration_us=200.0),
-                                        OpContext("gc"))
+                    yield stamp_context(Pause(duration_us=200.0), OpContext("gc"))
                     continue
             pbn = self._take_block()
             self._log_block_entries[pbn] = []
@@ -353,8 +358,7 @@ class FASTer(BaseFTL):
             if over_budget and not self._reclaiming:
                 self._reclaiming = True
                 try:
-                    while (len(self._log_order) + self.log_stripes
-                           > self.log_blocks_max):
+                    while (len(self._log_order) + self.log_stripes > self.log_blocks_max):
                         yield from self._reclaim_oldest_log_block()
                 finally:
                     self._reclaiming = False
@@ -368,16 +372,14 @@ class FASTer(BaseFTL):
         ctx = OpContext("gc")
         with self.trace.span("log.reclaim", histogram=self._tm_reclaim_us,
                              ctx=ctx, victim=victim) as span:
-            yield from tag_commands(
-                self._reclaim_log_block(victim, ctx=ctx, span=span), ctx
-            )
+            yield from tag_commands(self._reclaim_log_block(victim, ctx=ctx, span=span), ctx)
 
     def _reclaim_log_block(self, victim: int, ctx=None, span=None):
         entries = self._log_block_entries.pop(victim, [])
         valid = [
             (offset, lpn)
             for offset, lpn in entries
-            if self._log_map.get(lpn) == self.geometry.ppn_of(victim, offset)
+            if self._log_map[lpn] == self.geometry.ppn_of(victim, offset)
         ]
         migrate: List = []
         merge_lpns: List[int] = []
@@ -387,7 +389,7 @@ class FASTer(BaseFTL):
         if self.second_chance and not pressure:
             cap = int(self.migration_cap * self.geometry.pages_per_block)
             for offset, lpn in valid:
-                if lpn not in self._second_chanced and len(migrate) < cap:
+                if not self._second_chanced[lpn] and len(migrate) < cap:
                     migrate.append((offset, lpn))
                 else:
                     merge_lpns.append(lpn)
@@ -395,13 +397,12 @@ class FASTer(BaseFTL):
             merge_lpns = [lpn for __, lpn in valid]
 
         # Full merges first: they consume log entries in *other* blocks too.
-        for lbn in sorted({lpn // self.geometry.pages_per_block
-                           for lpn in merge_lpns}):
+        for lbn in sorted({lpn // self.geometry.pages_per_block for lpn in merge_lpns}):
             yield from self._full_merge(lbn, parent_ctx=ctx, parent_span=span)
 
         for offset, lpn in migrate:
             src = self.geometry.ppn_of(victim, offset)
-            if self._log_map.get(lpn) != src:
+            if self._log_map[lpn] != src:
                 continue  # consumed by a merge above
             self.stats.second_chances += 1
             self._tm_second_chances.inc()
@@ -420,18 +421,20 @@ class FASTer(BaseFTL):
                 # still be reclaimable) and record the loss.
                 self.stats.relocation_skips += 1
                 self._tm_relocation_skips.inc()
-                if self._log_map.get(lpn) == src:
+                if self._log_map[lpn] == src:
                     self._consume_log_entry(lpn)
                 continue
-            if self._log_map.get(lpn) != src:
+            if self._log_map[lpn] != src:
                 continue  # a fresher host version landed mid-read
             dst = yield from self._log_slot(for_migration=True)
             dst_pbn = self.geometry.block_of_ppn(dst)
             dst_offset = self.geometry.page_offset_of_ppn(dst)
             self._invalidate_log_entry(lpn)
             self._log_map[lpn] = dst
+            self._log_live += 1
             self._log_block_entries[dst_pbn].append((dst_offset, lpn))
-            self._second_chanced.add(lpn)
+            self._second_chanced[lpn] = 1
+            self._second_chanced_live += 1
             self.stats.gc_programs += 1
             yield ProgramPage(ppn=dst, data=result.data, oob={"lpn": lpn})
 
@@ -442,7 +445,7 @@ class FASTer(BaseFTL):
         remaining = [
             (offset, lpn)
             for offset, lpn in entries
-            if self._log_map.get(lpn) == self.geometry.ppn_of(victim, offset)
+            if self._log_map[lpn] == self.geometry.ppn_of(victim, offset)
         ]
         if remaining:
             self._log_block_entries[victim] = entries
@@ -459,8 +462,7 @@ class FASTer(BaseFTL):
         if lbn in self._merging:
             return  # a concurrent reclaim is already merging this block
         self._merging.add(lbn)
-        ctx = (parent_ctx.child("merge") if parent_ctx is not None
-               else OpContext("merge"))
+        ctx = (parent_ctx.child("merge") if parent_ctx is not None else OpContext("merge"))
         try:
             with self.trace.span("merge.full", histogram=self._tm_merge_us,
                                  parent=parent_span, ctx=ctx, lbn=lbn):
@@ -470,23 +472,27 @@ class FASTer(BaseFTL):
 
     def _full_merge_locked(self, lbn: int):
         pages_per_block = self.geometry.pages_per_block
-        old_pbn = self.block_map.get(lbn)
+        base = lbn * pages_per_block
+        old_pbn = self.block_map[lbn]
+        if old_pbn == UNMAPPED:
+            old_pbn = None
         prefer_plane = None
         if old_pbn is not None:
             prefer_plane = (self.geometry.die_of_block(old_pbn),
                             self.geometry.plane_of_block(old_pbn))
         new_pbn = self._take_block(prefer_plane)
         written: Set[int] = set()
-        old_written = self._data_written.get(lbn, set())
+        # Old written bits are read during the loop and only overwritten by
+        # the splice after it.
         consumed = []
         for offset in range(pages_per_block):
-            lpn = lbn * pages_per_block + offset
-            from_log = lpn in self._log_map
-            src = self._log_map.get(lpn)
-            if src is None and old_pbn is not None and offset in old_written:
+            lpn = base + offset
+            src = self._log_map[lpn]
+            from_log = src != UNMAPPED
+            if not from_log:
+                if old_pbn is None or not self._data_written[lpn]:
+                    continue
                 src = self.geometry.ppn_of(old_pbn, offset)
-            if src is None:
-                continue
             dst = self.geometry.ppn_of(new_pbn, offset)
             ok = yield from relocate_page(self.geometry, src, dst, self.stats,
                                           oob={"lpn": lpn},
@@ -504,10 +510,13 @@ class FASTer(BaseFTL):
         # old block would expose stale data to concurrent readers.  Each
         # retire re-checks that no newer host version replaced the entry.
         self.block_map[lbn] = new_pbn
-        self._data_written[lbn] = written
+        new_bits = bytearray(pages_per_block)
+        for offset in written:
+            new_bits[offset] = 1
+        self._data_written[base:base + pages_per_block] = new_bits
         self._data_fill[lbn] = (max(written) + 1) if written else 0
         for lpn, src in consumed:
-            if self._log_map.get(lpn) == src:
+            if self._log_map[lpn] == src:
                 self._consume_log_entry(lpn)
         if old_pbn is not None:
             yield from self._erase_block(old_pbn)
@@ -519,30 +528,31 @@ class FASTer(BaseFTL):
         lbn, offset = divmod(lpn, pages_per_block)
         if self._sw_lbn == lbn and offset < self._sw_fill:
             return self.geometry.ppn_of(self._sw_pbn, offset)
-        ppn = self._log_map.get(lpn)
-        if ppn is not None:
+        ppn = self._log_map[lpn]
+        if ppn != UNMAPPED:
             return ppn
-        pbn = self.block_map.get(lbn)
-        if pbn is not None and offset in self._data_written.get(lbn, ()):
+        pbn = self.block_map[lbn]
+        if pbn != UNMAPPED and self._data_written[lpn]:
             return self.geometry.ppn_of(pbn, offset)
         return None
 
     def _invalidate_log_entry(self, lpn: int) -> None:
-        if lpn in self._log_map:
-            del self._log_map[lpn]
-        self._second_chanced.discard(lpn)
+        if self._log_map[lpn] != UNMAPPED:
+            self._log_map[lpn] = UNMAPPED
+            self._log_live -= 1
+        if self._second_chanced[lpn]:
+            self._second_chanced[lpn] = 0
+            self._second_chanced_live -= 1
 
     def _consume_log_entry(self, lpn: int) -> None:
-        self._log_map.pop(lpn, None)
-        self._second_chanced.discard(lpn)
+        self._invalidate_log_entry(lpn)
 
     def _take_block(self, prefer_plane=None) -> int:
         if not self._free:
             raise RuntimeError("FASTer out of free blocks")
         if prefer_plane is not None:
             for index, pbn in enumerate(self._free):
-                plane = (self.geometry.die_of_block(pbn),
-                         self.geometry.plane_of_block(pbn))
+                plane = (self.geometry.die_of_block(pbn), self.geometry.plane_of_block(pbn))
                 if plane == prefer_plane:
                     del self._free[index]
                     return pbn
@@ -558,9 +568,7 @@ class FASTer(BaseFTL):
                 waits += 1
                 if waits > 150:
                     raise
-                yield Pause(
-                    duration_us=min(50.0 * (2 ** min(waits, 5)), 2000.0)
-                )
+                yield Pause(duration_us=min(50.0 * (2 ** min(waits, 5)), 2000.0))
             except BlockWornOut:
                 self.stats.grown_bad_blocks += 1
                 return
@@ -574,6 +582,6 @@ class FASTer(BaseFTL):
         return {
             "log_blocks": len(self._log_order) + active,
             "log_blocks_max": self.log_blocks_max,
-            "live_log_entries": len(self._log_map),
-            "second_chanced": len(self._second_chanced),
+            "live_log_entries": self._log_live,
+            "second_chanced": self._second_chanced_live,
         }

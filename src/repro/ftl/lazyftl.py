@@ -205,8 +205,7 @@ class LazyFTL(BaseFTL):
                         stats=self.stats, counter=self._tm_read_retries,
                     )
                 self.stats.map_programs += 1
-                yield from self.space.write(self._tp_lpn(tvpn),
-                                            data=("TP", tvpn))
+                yield from self.space.write(self._tp_lpn(tvpn), data=("TP", tvpn))
                 for lpn in lpns:
                     self._umt.pop(lpn, None)
                     self._cache_clean(lpn)

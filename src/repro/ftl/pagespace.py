@@ -41,6 +41,7 @@ from .base import (
     BlockPool,
     FTLStats,
     MappingState,
+    VictimBuckets,
     read_page_with_retry,
     relocate_page,
 )
@@ -55,18 +56,41 @@ _COLD = "cold"
 
 
 class _Plane:
-    """Allocation state of one plane."""
+    """Allocation state of one plane.
+
+    ``occupied`` (the GC candidate set) is mirrored into ``buckets``, an
+    invalid-count bucket structure giving O(1) greedy victim selection;
+    membership changes go through :meth:`occupy`/:meth:`release` so the
+    two stay in lockstep and the mapping's per-block watch slot points at
+    the right bucket list.
+    """
 
     def __init__(self, plane_id: PlaneId, blocks: Sequence[int],
-                 bad_blocks: Iterable[int]):
+                 bad_blocks: Iterable[int], mapping: MappingState,
+                 pages_per_block: int):
         self.plane_id = plane_id
         bad = set(bad_blocks)
         self.pool = BlockPool(pbn for pbn in blocks if pbn not in bad)
         self.occupied: set = set()
         self.collecting: set = set()
+        self.buckets = VictimBuckets(pages_per_block)
+        self._mapping = mapping
         # stream -> [pbn, next_offset]; None until first allocation
         self.active: Dict[str, Optional[list]] = {_HOT: None, _COLD: None}
         self.erases_since_wl = 0
+
+    def occupy(self, pbn: int) -> None:
+        """A filled block leaves its active point: index it for GC."""
+        self.occupied.add(pbn)
+        self.buckets.add(pbn, self._mapping.valid_in_block[pbn])
+        self._mapping.block_watch[pbn] = self.buckets
+
+    def release(self, pbn: int) -> None:
+        """Drop a block from GC candidacy (erase, quarantine, rebuild)."""
+        self.occupied.discard(pbn)
+        self.buckets.discard(pbn)
+        if self._mapping.block_watch[pbn] is self.buckets:
+            self._mapping.block_watch[pbn] = None
 
 
 class PageMappedSpace:
@@ -154,7 +178,9 @@ class PageMappedSpace:
         for plane_id in planes:
             die, plane = plane_id
             blocks = geometry.blocks_of_plane(die, plane)
-            self._planes[plane_id] = _Plane(plane_id, blocks, bad)
+            self._planes[plane_id] = _Plane(
+                plane_id, blocks, bad, mapping, geometry.pages_per_block
+            )
         self.plane_ids: List[PlaneId] = list(planes)
         #: Optional generator hook called after each collected block with the
         #: list of (lpn, dst_ppn) pages it moved.  DFTL uses it to charge
@@ -182,28 +208,17 @@ class PageMappedSpace:
         # Telemetry: GC victim quality, collection/wear-level spans, and
         # back-off waits behind an in-flight collection.
         self.telemetry = telemetry or MetricsRegistry()
-        self.trace = trace if trace is not None \
-            else EventTrace(clock=self.telemetry.now)
+        self.trace = trace if trace is not None else EventTrace(clock=self.telemetry.now)
         self._tm_gc_runs = self.telemetry.counter("ftl.gc.collections", layer="ftl")
         self._tm_gc_waits = self.telemetry.counter("ftl.gc.backoff_waits", layer="ftl")
-        self._tm_victim_valid = self.telemetry.histogram(
-            "ftl.gc.victim_valid", layer="ftl"
-        )
+        self._tm_victim_valid = self.telemetry.histogram("ftl.gc.victim_valid", layer="ftl")
         self._tm_gc_us = self.telemetry.histogram("ftl.gc.collect_us", layer="ftl")
         self._tm_wl_us = self.telemetry.histogram("ftl.wl.migrate_us", layer="ftl")
-        self._tm_relocations = self.telemetry.counter(
-            "ftl.relocations", layer="ftl"
-        )
+        self._tm_relocations = self.telemetry.counter("ftl.relocations", layer="ftl")
         prefix = metric_prefix
-        self._tm_read_retries = self.telemetry.counter(
-            f"{prefix}.read_retries", layer=prefix
-        )
-        self._tm_scrubs = self.telemetry.counter(
-            f"{prefix}.scrubs", layer=prefix
-        )
-        self._tm_program_remaps = self.telemetry.counter(
-            f"{prefix}.program_remaps", layer=prefix
-        )
+        self._tm_read_retries = self.telemetry.counter(f"{prefix}.read_retries", layer=prefix)
+        self._tm_scrubs = self.telemetry.counter(f"{prefix}.scrubs", layer=prefix)
+        self._tm_program_remaps = self.telemetry.counter(f"{prefix}.program_remaps", layer=prefix)
         self._tm_relocation_skips = self.telemetry.counter(
             f"{prefix}.gc.relocation_skips", layer=prefix
         )
@@ -218,9 +233,7 @@ class PageMappedSpace:
         region manager that routes ``lpn % n_regions`` to this space passes
         ``n_regions`` so region-local pages still spread over all planes.
         """
-        return self.plane_ids[
-            (lpn // self.placement_divisor) % len(self.plane_ids)
-        ]
+        return self.plane_ids[(lpn // self.placement_divisor) % len(self.plane_ids)]
 
     def free_blocks(self, plane_id: PlaneId) -> int:
         return len(self._planes[plane_id].pool)
@@ -274,9 +287,7 @@ class PageMappedSpace:
         # OOB carries the logical page number and a monotonically increasing
         # sequence number, so a cold scan can rebuild the mapping (recovery).
         oob = {"lpn": lpn, "seq": self.mapping.clock + 1}
-        ppn = yield from self._program_with_remap(
-            plane_id, stream, ppn, data, oob
-        )
+        ppn = yield from self._program_with_remap(plane_id, stream, ppn, data, oob)
         self.mapping.bind(lpn, ppn)
         return ppn
 
@@ -296,9 +307,7 @@ class PageMappedSpace:
                 waits += 1
                 if waits > self.outage_retry_limit:
                     raise
-                yield Pause(
-                    duration_us=min(50.0 * (2 ** min(waits, 5)), 2000.0)
-                )
+                yield Pause(duration_us=min(50.0 * (2 ** min(waits, 5)), 2000.0))
             except ProgramError:
                 remaps += 1
                 self.stats.program_remaps += 1
@@ -325,7 +334,7 @@ class PageMappedSpace:
         for name, active in plane.active.items():
             if active is not None and active[0] == pbn:
                 plane.active[name] = None
-        plane.occupied.discard(pbn)
+        plane.release(pbn)
         plane.pool.remove(pbn)
         self.suspect_blocks.discard(pbn)
         if pbn not in self.quarantined_blocks:
@@ -334,8 +343,7 @@ class PageMappedSpace:
             if self.on_grown_bad is not None:
                 self.on_grown_bad(pbn)
 
-    def _evacuate_block(self, plane_id: PlaneId, stream: str, pbn: int,
-                        max_failures: int = 4):
+    def _evacuate_block(self, plane_id: PlaneId, stream: str, pbn: int, max_failures: int = 4):
         """Generator: best-effort scrub of a quarantined block's valid
         pages onto trustworthy media.  Pages that cannot move (pool dry,
         repeated program failures) stay in place — they remain readable,
@@ -364,9 +372,7 @@ class PageMappedSpace:
                     failures += 1
                     self.stats.program_remaps += 1
                     self._tm_program_remaps.inc()
-                    self._quarantine_block(
-                        plane_id, self.geometry.block_of_ppn(dst)
-                    )
+                    self._quarantine_block(plane_id, self.geometry.block_of_ppn(dst))
                     if failures > max_failures:
                         return
                     continue
@@ -385,15 +391,12 @@ class PageMappedSpace:
             self.suspect_blocks.add(pbn)
         plane_id = self.plane_of_lpn(lpn)
         try:
-            dst = self._allocate(
-                plane_id, _COLD if self.separate_streams else _HOT
-            )
+            dst = self._allocate(plane_id, _COLD if self.separate_streams else _HOT)
         except RuntimeError:
             return  # no free slot right now; the suspect mark stands
         oob = {"lpn": lpn, "seq": self.mapping.clock + 1}
         try:
-            yield stamp_context(ProgramPage(ppn=dst, data=data, oob=oob),
-                                OpContext("scrub"))
+            yield stamp_context(ProgramPage(ppn=dst, data=data, oob=oob), OpContext("scrub"))
         except PowerCutError:
             raise  # the whole device is gone, not just this scrub
         except FlashError:
@@ -415,7 +418,7 @@ class PageMappedSpace:
         active = plane.active[stream]
         if active is None or active[1] >= self.geometry.pages_per_block:
             if active is not None:
-                plane.occupied.add(active[0])
+                plane.occupy(active[0])
             pbn = plane.pool.take()
             active = [pbn, 0]
             plane.active[stream] = active
@@ -441,13 +444,10 @@ class PageMappedSpace:
                 self._tm_gc_waits.inc()
                 # This wait exists only because GC holds the plane: blame
                 # it on GC by tagging the pause with a maintenance origin.
-                yield stamp_context(Pause(duration_us=100.0),
-                                    OpContext("gc"))
+                yield stamp_context(Pause(duration_us=100.0), OpContext("gc"))
                 attempts += 1
                 if attempts > 64 * plane.pool.initial_size:
-                    raise RuntimeError(
-                        f"plane {plane_id}: GC starvation while waiting"
-                    )
+                    raise RuntimeError(f"plane {plane_id}: GC starvation while waiting")
                 continue
             victim = self._select_victim(plane)
             if victim is None:
@@ -460,14 +460,34 @@ class PageMappedSpace:
             yield from self._collect(plane, victim)
             attempts += 1
             if attempts > 64 * plane.pool.initial_size:
-                raise RuntimeError(
-                    f"plane {plane_id}: GC not converging"
-                )
+                raise RuntimeError(f"plane {plane_id}: GC not converging")
         if self.wear_level_delta is not None:
             yield from self._maybe_wear_level(plane)
 
     def _select_victim(self, plane: _Plane) -> Optional[int]:
         pages_per_block = self.geometry.pages_per_block
+        # Refresh suspect media first, whatever the policy says: among
+        # this plane's suspect occupied blocks, take the fewest-valid one
+        # (ties toward the lowest pbn — a pure function of device state).
+        if self.suspect_blocks:
+            best = None
+            best_valid = None
+            for pbn in sorted(self.suspect_blocks):
+                if pbn not in plane.occupied or pbn in plane.collecting:
+                    continue
+                valid = self.mapping.valid_in_block[pbn]
+                if valid >= pages_per_block:
+                    continue
+                if best_valid is None or valid < best_valid:
+                    best, best_valid = pbn, valid
+            if best is not None:
+                return best
+        if self.gc_policy == "greedy":
+            # O(1) pick from the invalid-count bucket lists: lowest valid
+            # count wins, FIFO within a bucket.
+            return plane.buckets.min_victim(skip=plane.collecting)
+        # Cost-benefit weighs every block's age: linear scan (kept for the
+        # Rosenblum-policy ablation; greedy is the paper's default).
         best = None
         best_score = None
         for pbn in plane.occupied:
@@ -476,24 +496,15 @@ class PageMappedSpace:
             valid = self.mapping.valid_in_block[pbn]
             if valid >= pages_per_block:
                 continue  # nothing to gain
-            if self.gc_policy == "greedy":
-                score = valid
-            else:
-                utilisation = valid / pages_per_block
-                age = self.mapping.clock - self.mapping.block_write_time[pbn]
-                # benefit/cost: free space gained per copy work, times age
-                score = -((1.0 - utilisation) / (2.0 * utilisation + 1e-9)) * (
-                    age + 1
-                )
-            if pbn in self.suspect_blocks:
-                # Refresh suspect media first, whatever the policy says.
-                score -= 1e12
+            utilisation = valid / pages_per_block
+            age = self.mapping.clock - self.mapping.block_write_time[pbn]
+            # benefit/cost: free space gained per copy work, times age
+            score = -((1.0 - utilisation) / (2.0 * utilisation + 1e-9)) * (age + 1)
             if best_score is None or score < best_score:
                 best, best_score = pbn, score
         return best
 
-    def _collect(self, plane: _Plane, victim: int, origin: str = "gc",
-                 parent=None):
+    def _collect(self, plane: _Plane, victim: int, origin: str = "gc", parent=None):
         """Generator: relocate the victim's valid pages, erase it.
 
         Every flash command issued here — relocations, erases, and any
@@ -512,9 +523,7 @@ class PageMappedSpace:
                              parent=parent, ctx=ctx,
                              plane=plane.plane_id, victim=victim,
                              valid=valid_count) as span:
-            yield from tag_commands(
-                self._collect_body(plane, victim, moved), ctx
-            )
+            yield from tag_commands(self._collect_body(plane, victim, moved), ctx)
             span.note(moved=len(moved))
         if self.rebind_hook is not None and moved:
             yield from tag_commands(self.rebind_hook(moved), ctx)
@@ -556,8 +565,7 @@ class PageMappedSpace:
                                 self.stats.relocation_skips += 1
                                 ok = False
                             if ok:
-                                yield ProgramPage(ppn=dst, data=result.data,
-                                                  oob=result.oob)
+                                yield ProgramPage(ppn=dst, data=result.data, oob=result.oob)
                                 self.stats.gc_relocations += 1
                                 self._tm_relocations.inc()
                                 self.stats.gc_reads += 1
@@ -569,9 +577,7 @@ class PageMappedSpace:
                         dst_failures += 1
                         self.stats.program_remaps += 1
                         self._tm_program_remaps.inc()
-                        self._quarantine_block(
-                            plane.plane_id, self.geometry.block_of_ppn(dst)
-                        )
+                        self._quarantine_block(plane.plane_id, self.geometry.block_of_ppn(dst))
                         if dst_failures > 4:
                             raise
                         continue
@@ -593,7 +599,7 @@ class PageMappedSpace:
                 # An erase would destroy the unreadable-but-mapped pages'
                 # last trace; quarantine the victim instead and report it
                 # grown bad so spare accounting sees the capacity loss.
-                plane.occupied.discard(victim)
+                plane.release(victim)
                 self.suspect_blocks.discard(victim)
                 self.quarantined_blocks.add(victim)
                 self.stats.grown_bad_blocks += 1
@@ -605,7 +611,7 @@ class PageMappedSpace:
             plane.collecting.discard(victim)
 
     def _erase_into_pool(self, plane: _Plane, pbn: int):
-        plane.occupied.discard(pbn)
+        plane.release(pbn)
         waits = 0
         while True:
             try:
@@ -616,9 +622,7 @@ class PageMappedSpace:
                 waits += 1
                 if waits > self.outage_retry_limit:
                     raise
-                yield Pause(
-                    duration_us=min(50.0 * (2 ** min(waits, 5)), 2000.0)
-                )
+                yield Pause(duration_us=min(50.0 * (2 ** min(waits, 5)), 2000.0))
             except BlockWornOut:
                 # Wear-out or injected erase failure: the array marked the
                 # block bad; retire it from this space.
@@ -646,22 +650,18 @@ class PageMappedSpace:
         if not plane.occupied or len(plane.pool) < self.gc_low_water:
             return
         counts = [self.erase_counts.get(pbn, 0) for pbn in plane.occupied]
-        pool_counts = [self.erase_counts.get(pbn, 0)
-                       for pbn in plane.pool.peek_free()]
+        pool_counts = [self.erase_counts.get(pbn, 0) for pbn in plane.pool.peek_free()]
         spread = max(counts + pool_counts) - min(counts)
         if spread <= self.wear_level_delta:
             return
-        coldest = min(plane.occupied,
-                      key=lambda pbn: self.erase_counts.get(pbn, 0))
+        coldest = min(plane.occupied, key=lambda pbn: self.erase_counts.get(pbn, 0))
         self.stats.wl_moves += 1
         with self.trace.span("wl.migrate", histogram=self._tm_wl_us,
                              plane=plane.plane_id, block=coldest,
                              spread=spread) as span:
-            yield from self._collect(plane, coldest, origin="wear-level",
-                                     parent=span)
+            yield from self._collect(plane, coldest, origin="wear-level", parent=span)
 
-    def rebuild_allocation(self, programmed_blocks, bad_blocks=None,
-                           quarantined=()) -> None:
+    def rebuild_allocation(self, programmed_blocks, bad_blocks=None, quarantined=()) -> None:
         """Crash recovery: reset allocation state from a scan result.
 
         ``programmed_blocks`` is the set of flat block numbers observed to
@@ -686,6 +686,7 @@ class PageMappedSpace:
 
         programmed = set(programmed_blocks)
         my_blocks: set = set()
+        watch = self.mapping.block_watch
         for plane in self._planes.values():
             die, plane_index = plane.plane_id
             blocks = self.geometry.blocks_of_plane(die, plane_index)
@@ -698,16 +699,22 @@ class PageMappedSpace:
                 usable = [pbn for pbn in blocks if pbn in known]
             else:
                 usable = [pbn for pbn in blocks if pbn not in bad_blocks]
-            plane.occupied = {pbn for pbn in usable if pbn in programmed}
-            plane.pool = BlockPool(
-                pbn for pbn in usable if pbn not in programmed
-            )
+            # Re-seed the GC victim index from the freshly swapped-in
+            # mapping tables: block order (ascending pbn) fixes the FIFO
+            # tie-break deterministically from device state alone.
+            plane.occupied = set()
+            plane.buckets.clear()
+            for pbn in blocks:
+                if watch[pbn] is plane.buckets:
+                    watch[pbn] = None
+            plane.pool = BlockPool(pbn for pbn in usable if pbn not in programmed)
+            for pbn in usable:
+                if pbn in programmed:
+                    plane.occupy(pbn)
             plane.active = {key: None for key in plane.active}
             plane.collecting = set()
         self.suspect_blocks.clear()
-        self.quarantined_blocks = {
-            pbn for pbn in quarantined if pbn in my_blocks
-        }
+        self.quarantined_blocks = {pbn for pbn in quarantined if pbn in my_blocks}
 
     # -- introspection -----------------------------------------------------------------
 

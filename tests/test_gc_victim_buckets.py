@@ -1,0 +1,133 @@
+"""Property tests for the O(1) GC victim structure (VictimBuckets).
+
+The bucket lists replace the linear victim scans every FTL used to run;
+greedy selection is only correct if, after *any* interleaving of member
+admissions, valid-count changes, evictions and picks, ``min_victim``
+still returns a member with the globally minimal valid-page count (==
+maximal invalid count).  These tests drive randomized op sequences
+through the structure and cross-check every pick against a naive
+O(blocks) scan over a shadow model — the exact scan the buckets
+replaced.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftl.base import VictimBuckets
+
+PAGES_PER_BLOCK = 8
+NUM_BLOCKS = 24
+
+
+def naive_min_victim(shadow, skip=()):
+    """The O(blocks) scan the buckets replace: minimal valid count among
+    members that are not fully valid and not skipped."""
+    best = None
+    for pbn, valid in shadow.items():
+        if valid >= PAGES_PER_BLOCK or pbn in skip:
+            continue
+        if best is None or valid < best:
+            best = valid
+    return best
+
+
+# One op: (kind, pbn, value).  Valid counts are arbitrary in [0, ppb] —
+# stricter than production (where member counts only decrease), so the
+# lazy minimum pointer is exercised against adversarial increases too.
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "change", "discard", "pick", "pick_skip"]),
+        st.integers(0, NUM_BLOCKS - 1),
+        st.integers(0, PAGES_PER_BLOCK),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_OPS, seed=st.integers(0, 2**32 - 1))
+def test_min_victim_matches_naive_scan(ops, seed):
+    """Property: every pick returns a member whose valid count equals the
+    global minimum a full scan would find (or None when the scan finds
+    nothing collectible)."""
+    rng = random.Random(seed)
+    buckets = VictimBuckets(PAGES_PER_BLOCK)
+    shadow = {}
+    for kind, pbn, value in ops:
+        if kind == "add":
+            buckets.add(pbn, value)
+            shadow[pbn] = value
+        elif kind == "change":
+            # Production only routes changes for members (the block_watch
+            # slot is cleared on release); mirror that contract.
+            if pbn in shadow:
+                buckets.on_valid_changed(pbn, value)
+                shadow[pbn] = value
+        elif kind == "discard":
+            buckets.discard(pbn)
+            shadow.pop(pbn, None)
+        else:
+            skip = ()
+            if kind == "pick_skip" and shadow:
+                skip = frozenset(
+                    rng.sample(sorted(shadow), k=rng.randrange(len(shadow) + 1))
+                )
+            picked = buckets.min_victim(skip=skip)
+            expected = naive_min_victim(shadow, skip=skip)
+            if expected is None:
+                assert picked is None
+            else:
+                assert picked is not None
+                assert picked in shadow and picked not in skip
+                assert shadow[picked] == expected
+
+        # Structural invariants hold after every op.
+        assert len(buckets) == len(shadow)
+        assert set(buckets) == set(shadow)
+        for member, valid in shadow.items():
+            assert buckets.valid_of(member) == valid
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    counts=st.lists(
+        st.integers(0, PAGES_PER_BLOCK), min_size=1, max_size=NUM_BLOCKS
+    )
+)
+def test_drain_picks_in_globally_greedy_order(counts):
+    """Repeatedly picking and evicting must drain members in nondecreasing
+    valid-count order — the definition of a greedy victim policy."""
+    buckets = VictimBuckets(PAGES_PER_BLOCK)
+    shadow = {}
+    for pbn, valid in enumerate(counts):
+        buckets.add(pbn, valid)
+        shadow[pbn] = valid
+    picked_counts = []
+    while True:
+        victim = buckets.min_victim()
+        if victim is None:
+            break
+        assert shadow[victim] == naive_min_victim(shadow)
+        picked_counts.append(shadow[victim])
+        buckets.discard(victim)
+        del shadow[victim]
+    assert picked_counts == sorted(picked_counts)
+    # Only fully valid members (never collectible under greedy) remain.
+    assert all(v >= PAGES_PER_BLOCK for v in shadow.values())
+
+
+def test_fifo_tie_break_rotates_equal_victims():
+    """Members tied on valid count come back in admission order — the
+    property that makes the bucket policy double as wear leveling for
+    uniform workloads."""
+    buckets = VictimBuckets(PAGES_PER_BLOCK)
+    for pbn in (5, 3, 9):
+        buckets.add(pbn, 2)
+    order = []
+    while (victim := buckets.min_victim()) is not None:
+        order.append(victim)
+        buckets.discard(victim)
+    assert order == [5, 3, 9]
