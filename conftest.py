@@ -1,0 +1,17 @@
+"""Root conftest: keep the suite runnable without optional plugins.
+
+``pyproject.toml`` sets a per-test ``timeout`` for pytest-timeout (a DES
+bug that stops the event queue draining hangs forever otherwise).  In a
+minimal environment without the plugin, pytest would warn about the
+unknown ini keys on every run — register them as inert options instead
+so the configuration stays valid either way.
+"""
+
+
+def pytest_addoption(parser):
+    try:
+        import pytest_timeout  # noqa: F401
+    except ImportError:
+        parser.addini("timeout", "per-test timeout (inert: plugin absent)")
+        parser.addini("timeout_method",
+                      "timeout mechanism (inert: plugin absent)")

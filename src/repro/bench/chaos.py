@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core import NoFTLConfig
+from ..core.badblock import DegradedModeError
 from ..flash import FaultPlan, FaultSpec, UncorrectableError, page_checksum
 from ..workloads import TPCB, TPCC, run_workload
 from .reporting import export_metrics
@@ -50,18 +51,83 @@ class ChecksumOracle:
     Only writes whose generator completed (the device acknowledged the
     program, after any remap/retry recovery) are recorded — exactly the
     set of pages the DBMS is entitled to read back.
+
+    When the wrapped adapter is a write-back device front end, the oracle
+    additionally tracks the **durability contract**: every acknowledged
+    write appends to a per-page ``history``; :meth:`flush_barrier` (a
+    passthrough to the adapter's barrier) advances ``durable_floor`` to
+    the newest version acknowledged *before* the barrier was called.
+    After a power cut the media must hold some version at or past the
+    floor — acked-volatile versions (past the floor) may vanish,
+    acked-durable ones (at the floor) may not.
+
+    ``shadow_reads=True`` arms a live read-after-write hazard check:
+    every read's result must checksum to the newest version acknowledged
+    at issue time, or any version acknowledged while the read was in
+    flight.  A stale read is appended to ``hazard_violations`` — the
+    siege gate requires that list to stay empty.
+
+    A trim's outcome is recorded only on acknowledged completion.  A
+    trim that dies mid-flight (power cut after partial FTL invalidation)
+    leaves the page *indeterminate*: the old content may or may not
+    still be readable, so post-run audits must skip it rather than
+    demand either outcome.
     """
 
-    def __init__(self, adapter):
+    def __init__(self, adapter, shadow_reads: bool = False):
         self.adapter = adapter
         self.logical_pages = adapter.logical_pages
         self.num_regions = adapter.num_regions
         self.telemetry = getattr(adapter, "telemetry", None)
         self.checksums: Dict[int, int] = {}
         self.writes_acked = 0
+        self.shadow_reads = shadow_reads
+        #: Per-page append-only checksum history of acknowledged writes
+        #: (newest last); restarted by an acknowledged trim.
+        self.history: Dict[int, List[int]] = {}
+        #: Per-page index into ``history``: the newest version covered by
+        #: a completed barrier.  Versions past the floor are volatile.
+        self.durable_floor: Dict[int, int] = {}
+        #: Per-page checksums superseded by a trim.  A NoFTL trim only
+        #: mutates the in-RAM mapping — nothing is journaled to flash —
+        #: so a power cut legally *resurrects* pre-trim versions when the
+        #: OOB mount scan finds their pages still programmed.  Post-cut
+        #: audits must accept these as acked (never-garbage) content.
+        self.retired: Dict[int, List[int]] = {}
+        #: Pages whose newest acknowledged op is a trim.
+        self.trimmed: set = set()
+        #: Pages whose trim died mid-flight: content is unknowable.
+        self.indeterminate: set = set()
+        self.barriers_completed = 0
+        self.reads_checked = 0
+        self.hazard_violations: List[dict] = []
+
+    @property
+    def maintenance_active(self) -> bool:
+        return bool(getattr(self.adapter, "maintenance_active", False))
 
     def read(self, page_id: int, ctx=None):
+        issue_len = len(self.history.get(page_id, ()))
         data = yield from self.adapter.read(page_id, ctx=ctx)
+        if self.shadow_reads:
+            self.reads_checked += 1
+            hist = self.history.get(page_id, ())
+            if (data is not None and issue_len
+                    and len(hist) >= issue_len
+                    and page_id not in self.trimmed
+                    and page_id not in self.indeterminate):
+                # RAW shadow model: acceptable versions are the newest
+                # acked at issue plus anything acked while in flight.  A
+                # history shorter than at issue means a trim+rewrite
+                # interleaved with this read — indeterminate, skipped.
+                acceptable = hist[issue_len - 1:]
+                got = page_checksum(data)
+                if got not in acceptable:
+                    self.hazard_violations.append({
+                        "page": page_id,
+                        "got": got,
+                        "acceptable": list(acceptable),
+                    })
         return data
 
     def write(self, page_id: int, data, hint: str = "hot", ctx=None):
@@ -69,10 +135,89 @@ class ChecksumOracle:
         # Only reached when the write was acknowledged (no exception).
         self.checksums[page_id] = page_checksum(data)
         self.writes_acked += 1
+        self.trimmed.discard(page_id)
+        self.indeterminate.discard(page_id)
+        self.history.setdefault(page_id, []).append(self.checksums[page_id])
 
     def trim(self, page_id: int, ctx=None):
-        yield from self.adapter.trim(page_id, ctx=ctx)
+        try:
+            yield from self.adapter.trim(page_id, ctx=ctx)
+        except DegradedModeError:
+            # Shed / refused before any side effect: the trim never
+            # happened, every recorded version still stands.
+            raise
+        except BaseException:
+            # Mid-flight failure after (possibly partial) FTL
+            # invalidation: neither "still holds the old data" nor
+            # "deallocated" is a safe claim.  Drop the page from every
+            # audited set and remember why.
+            self._retire(page_id)
+            self.indeterminate.add(page_id)
+            raise
+        # Acknowledged: the trim supersedes all recorded versions.
+        self._retire(page_id)
+        self.trimmed.add(page_id)
+        self.indeterminate.discard(page_id)
+
+    def _retire(self, page_id: int) -> None:
+        """Move a page's recorded versions out of the live audit sets,
+        keeping them in ``retired`` (an un-journaled trim is not
+        crash-durable, so these may resurface after a power cut)."""
         self.checksums.pop(page_id, None)
+        old = self.history.pop(page_id, None)
+        if old:
+            self.retired.setdefault(page_id, []).extend(old)
+        self.durable_floor.pop(page_id, None)
+
+    def flush_barrier(self, ctx=None):
+        """Passthrough barrier; on return, the contract snapshot taken at
+        the *call* is marked durable.  A barrier that raises advances no
+        floors — no guarantee was given."""
+        snap = {
+            lpn: (len(self.history[lpn]) - 1, self.history[lpn][-1])
+            for lpn in self.checksums
+        }
+        barrier = getattr(self.adapter, "flush_barrier", None)
+        if barrier is not None:
+            yield from barrier(ctx=ctx)
+        for lpn, (idx, cks) in snap.items():
+            hist = self.history.get(lpn)
+            if hist is None or idx >= len(hist) or hist[idx] != cks:
+                # A trim completed while flushing: the snapshotted
+                # versions were superseded (history restarted), so the
+                # barrier promises nothing for this page anymore.
+                continue
+            if idx > self.durable_floor.get(lpn, -1):
+                self.durable_floor[lpn] = idx
+        self.barriers_completed += 1
+
+    def durable_checksum(self, page_id: int):
+        """The checksum the media must still hold after a power cut, or
+        ``None`` when nothing durable was promised for the page.  Any
+        version at or past the floor satisfies the contract (a destage
+        may have landed a newer acked version before the cut)."""
+        floor = self.durable_floor.get(page_id)
+        if floor is None:
+            return None
+        return self.history[page_id][floor]
+
+    def acceptable_after_cut(self, page_id: int) -> List[int]:
+        """Every checksum a post-cut readback may legally return for a
+        page with a durable floor: the floor version or anything acked
+        after it."""
+        floor = self.durable_floor.get(page_id)
+        if floor is None:
+            return []
+        return list(self.history[page_id][floor:])
+
+    def acked_versions(self, page_id: int) -> List[int]:
+        """Every checksum ever acknowledged for a page, including
+        versions a later trim superseded.  After a power cut, a page with
+        no durable floor may legally read back as *any* of these (trims
+        are in-RAM only, so the mount scan can resurrect pre-trim pages)
+        — but never as something outside this set."""
+        return (self.retired.get(page_id, [])
+                + self.history.get(page_id, []))
 
     def region_of_page(self, page_id: int) -> int:
         return self.adapter.region_of_page(page_id)

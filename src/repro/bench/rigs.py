@@ -14,7 +14,7 @@ from typing import Optional
 
 from ..core import NoFTLConfig, NoFTLStorage, NoFTLStorageManager, SyncNoFTLStorage
 from ..db import Database, BlockDeviceAdapter, NoFTLStorageAdapter
-from ..device import BlockDevice, SyncBlockDevice
+from ..device import BlockDevice, DeviceFrontend, FrontendConfig, SyncBlockDevice
 from ..flash import (
     FaultPlan,
     FlashArray,
@@ -150,6 +150,16 @@ class NoFTLRig:
     db: Optional[Database] = None
     telemetry: Optional[MetricsRegistry] = None
     trace: Optional[EventTrace] = None
+    #: Present only when the rig was built with ``frontend_config``.
+    #: ``adapter`` stays the raw write-through adapter; the DBMS mounts
+    #: the frontend instead (see :func:`attach_database`).
+    frontend: Optional[DeviceFrontend] = None
+
+    @property
+    def mount_point(self):
+        """What the DBMS mounts: the front end when present, else the
+        raw adapter."""
+        return self.frontend if self.frontend is not None else self.adapter
 
 
 @dataclass
@@ -163,6 +173,11 @@ class BlockDeviceRig:
     db: Optional[Database] = None
     telemetry: Optional[MetricsRegistry] = None
     trace: Optional[EventTrace] = None
+    frontend: Optional[DeviceFrontend] = None
+
+    @property
+    def mount_point(self):
+        return self.frontend if self.frontend is not None else self.adapter
 
 
 def build_noftl_rig(
@@ -174,8 +189,16 @@ def build_noftl_rig(
     trace: Optional[EventTrace] = None,
     fault_plan: Optional[FaultPlan] = None,
     store_data: bool = True,
+    frontend_config: Optional[FrontendConfig] = None,
 ) -> NoFTLRig:
-    """Figure 1.c: DBMS on native flash through NoFTL."""
+    """Figure 1.c: DBMS on native flash through NoFTL.
+
+    ``frontend_config`` (opt-in, default off so legacy rigs stay
+    event-for-event identical) interposes a :class:`DeviceFrontend` —
+    hazard-safe admission plus a write-back cache — between the DBMS and
+    the adapter; power cuts on the array then wreck the volatile cache
+    through the listener hook.
+    """
     sim = Simulator()
     telemetry = telemetry or MetricsRegistry()
     if trace is not None:
@@ -193,9 +216,15 @@ def build_noftl_rig(
         trace=trace,
     )
     storage = NoFTLStorage(sim, manager, executor)
-    return NoFTLRig(sim, geometry, array, manager, storage,
-                    NoFTLStorageAdapter(storage), telemetry=telemetry,
-                    trace=manager.trace)
+    adapter = NoFTLStorageAdapter(storage)
+    frontend = None
+    if frontend_config is not None:
+        frontend = DeviceFrontend(sim, adapter, frontend_config,
+                                  array=array, telemetry=telemetry,
+                                  trace=manager.trace)
+    return NoFTLRig(sim, geometry, array, manager, storage, adapter,
+                    telemetry=telemetry, trace=manager.trace,
+                    frontend=frontend)
 
 
 def build_blockdev_rig(
@@ -206,6 +235,7 @@ def build_blockdev_rig(
     seed: int = 0,
     telemetry: Optional[MetricsRegistry] = None,
     trace: Optional[EventTrace] = None,
+    frontend_config: Optional[FrontendConfig] = None,
     **ftl_kwargs,
 ) -> BlockDeviceRig:
     """Figure 1.a/b: DBMS on a black-box SSD with an on-device FTL."""
@@ -220,9 +250,15 @@ def build_blockdev_rig(
                    bad_blocks=array.factory_bad_blocks(),
                    telemetry=telemetry, trace=trace, **ftl_kwargs)
     device = BlockDevice(sim, ftl, executor, ncq_depth=ncq_depth)
-    return BlockDeviceRig(sim, geometry, array, ftl, device,
-                          BlockDeviceAdapter(device), telemetry=telemetry,
-                          trace=ftl.trace)
+    adapter = BlockDeviceAdapter(device)
+    frontend = None
+    if frontend_config is not None:
+        frontend = DeviceFrontend(sim, adapter, frontend_config,
+                                  array=array, telemetry=telemetry,
+                                  trace=ftl.trace)
+    return BlockDeviceRig(sim, geometry, array, ftl, device, adapter,
+                          telemetry=telemetry, trace=ftl.trace,
+                          frontend=frontend)
 
 
 def build_sync_noftl(
@@ -326,10 +362,11 @@ def attach_database(
     foreground_flush: bool = True,
     dirty_throttle_fraction=None,
 ) -> Database:
-    """Mount the mini-DBMS on a rig's storage adapter."""
+    """Mount the mini-DBMS on a rig's storage adapter (through the
+    device front end when the rig was built with one)."""
     db = Database(
         rig.sim,
-        rig.adapter,
+        getattr(rig, "frontend", None) or rig.adapter,
         page_bytes=rig.geometry.page_bytes,
         buffer_capacity=buffer_capacity,
         cpu_us_per_op=cpu_us_per_op,

@@ -151,6 +151,19 @@ class NoFTLStorageManager:
     def num_regions(self) -> int:
         return self.regions.num_regions
 
+    @property
+    def maintenance_active(self) -> bool:
+        """True while *any* region's space is running GC / wear leveling.
+
+        A cheap sampled signal (no events, no locking) for front-end
+        admission control: when it holds, new background traffic should
+        yield to foreground reads rather than pile onto busy dies.
+        """
+        return any(
+            region.space.maintenance_active
+            for region in self.regions.regions
+        )
+
     def region_of_lpn(self, lpn: int) -> int:
         """Pure placement function — this is what lets the buffer manager
         partition dirty pages among region-bound db-writers."""

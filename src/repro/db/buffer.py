@@ -273,12 +273,21 @@ class BufferPool:
         return flushed
 
     def flush_all(self):
-        """Generator: checkpoint — write back every dirty resident page."""
+        """Generator: checkpoint — write back every dirty resident page.
+
+        Ends with the storage adapter's durability barrier: a checkpoint
+        that leaves its write-backs in a volatile device cache has not
+        checkpointed anything.  Plain adapters' barrier is a no-op that
+        schedules no events, so legacy digests are unchanged.
+        """
         ctx = OpContext("host")
         for page_id in list(self.frames):
             frame = self.frames.get(page_id)
             if frame is not None and frame.dirty:
                 yield from self._flush_frame(frame, ctx)
+        barrier = getattr(self.storage, "flush_barrier", None)
+        if barrier is not None:
+            yield from barrier(ctx=ctx)
 
     def _flush_frame(self, frame: Frame, ctx: Optional[OpContext] = None):
         if not frame.dirty:

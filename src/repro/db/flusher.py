@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..core.badblock import DegradedModeError
 from ..sim import Interrupt, Simulator
 from ..telemetry import EventTrace, MetricsRegistry, OpContext
 
@@ -47,6 +48,7 @@ class DbWriterPool:
         policy: str = "global",
         batch_size: int = 4,
         idle_poll_us: float = 500.0,
+        barrier_rounds: int = 0,
         telemetry: Optional[MetricsRegistry] = None,
         trace: Optional[EventTrace] = None,
     ):
@@ -63,7 +65,17 @@ class DbWriterPool:
         self.policy = policy
         self.batch_size = batch_size
         self.idle_poll_us = idle_poll_us
+        #: Every N cleaning rounds a writer issues the storage adapter's
+        #: durability barrier, bounding how long cleaned pages may sit in
+        #: a volatile device cache.  0 (default) never barriers — correct
+        #: for write-through adapters and digest-identical for legacy
+        #: rigs; recovery correctness never depends on it (the WAL rule
+        #: holds regardless), it only bounds redo work after a crash.
+        self.barrier_rounds = barrier_rounds
         self.pages_flushed: List[int] = [0] * num_writers
+        #: Pages a writer could not clean because the device refused the
+        #: write (degraded / shed) — reported, not silently retried-forever.
+        self.pages_refused: List[int] = [0] * num_writers
         self.telemetry = telemetry or getattr(
             buffer_pool, "telemetry", None) or MetricsRegistry()
         self.trace = (
@@ -123,6 +135,7 @@ class DbWriterPool:
         return self._tm_pages.labels(index, region)
 
     def _writer_loop(self, index: int):
+        rounds = 0
         while not self._stopping:
             batch = self._candidates(index)
             if not batch:
@@ -140,15 +153,35 @@ class DbWriterPool:
                             or frame.flush_event is not None):
                         continue  # claimed by a peer since the scan: skip
                     ctx = OpContext("db-writer", writer_id=index)
-                    flushed = yield from self.buffer_pool.flush_page(
-                        page_id, ctx=ctx
-                    )
+                    try:
+                        flushed = yield from self.buffer_pool.flush_page(
+                            page_id, ctx=ctx
+                        )
+                    except DegradedModeError:
+                        # Device refused the write (degraded spare
+                        # capacity, or a front-end shed under overload).
+                        # The page stays dirty in the pool; count it and
+                        # keep cleaning — a dead writer would silently
+                        # stall the whole pool.
+                        self.pages_refused[index] += 1
+                        continue
                     if flushed:
                         self.pages_flushed[index] += 1
                         region = self.storage.region_of_page(page_id)
                         self._flushed_counter(index, region).inc()
                         cleaned += 1
                 span.note(cleaned=cleaned)
+            rounds += 1
+            if (self.barrier_rounds and cleaned
+                    and rounds % self.barrier_rounds == 0):
+                barrier = getattr(self.storage, "flush_barrier", None)
+                if barrier is not None:
+                    try:
+                        yield from barrier(
+                            ctx=OpContext("db-writer", writer_id=index)
+                        )
+                    except DegradedModeError:
+                        self.pages_refused[index] += 1
 
     def stop(self) -> None:
         """Terminate all writers.  Idle writers exit immediately; a writer
@@ -173,9 +206,14 @@ class DbWriterPool:
         )
 
     def snapshot(self) -> dict:
-        return {
+        out = {
             "policy": self.policy,
             "num_writers": self.num_writers,
             "pages_flushed": list(self.pages_flushed),
             "backlog": self.backlog(),
         }
+        # Only surfaced when it happened: keeps the snapshot shape — and
+        # therefore legacy rigs' golden metrics digests — bit-identical.
+        if any(self.pages_refused):
+            out["pages_refused"] = list(self.pages_refused)
+        return out

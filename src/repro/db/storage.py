@@ -60,8 +60,31 @@ class StorageAdapter:
     def trim(self, page_id: int, ctx=None):  # pragma: no cover - interface
         raise NotImplementedError
 
+    def flush_barrier(self, ctx=None):
+        """Generator: durability barrier.
+
+        When this generator completes, every write acknowledged *before*
+        it was called is durable across a power cut.  Plain adapters ack
+        only after media program, so the default barrier is a no-op that
+        schedules no events (digest-neutral); a write-back front end
+        (:class:`~repro.device.frontend.DeviceFrontend`) overrides it to
+        destage its volatile cache.
+        """
+        return
+        yield  # pragma: no cover - generator form
+
     def region_of_page(self, page_id: int) -> int:
         return 0
+
+    @property
+    def maintenance_active(self) -> bool:
+        """True while the backend is running GC/wear-leveling *right now*.
+
+        Sampled (not awaited) by schedulers that want to classify queue
+        time or throttle background traffic while maintenance holds the
+        media.  Backends without the signal report False.
+        """
+        return False
 
 
 class NoFTLStorageAdapter(StorageAdapter):
@@ -86,6 +109,10 @@ class NoFTLStorageAdapter(StorageAdapter):
     def region_of_page(self, page_id: int) -> int:
         return self.storage.region_of_lpn(page_id)
 
+    @property
+    def maintenance_active(self) -> bool:
+        return self.storage.manager.maintenance_active
+
 
 class BlockDeviceAdapter(StorageAdapter):
     """Legacy block device: no hints, no deallocation, one opaque region."""
@@ -109,6 +136,10 @@ class BlockDeviceAdapter(StorageAdapter):
         # the FTL keeps treating the page as live.  Intentional no-op.
         return
         yield  # pragma: no cover - generator form
+
+    @property
+    def maintenance_active(self) -> bool:
+        return bool(getattr(self.device.ftl, "maintenance_active", False))
 
 
 class RAMStorageAdapter(StorageAdapter):

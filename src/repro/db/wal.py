@@ -33,12 +33,21 @@ class WALog:
     """Append-only log buffer with group-commit flushing."""
 
     def __init__(self, sim: Simulator, flush_latency_us: float = 150.0,
-                 keep_records: bool = False):
+                 keep_records: bool = False, device_barrier=None):
         if flush_latency_us < 0:
             raise ValueError("flush_latency_us must be >= 0")
         self.sim = sim
         self.flush_latency_us = flush_latency_us
         self.keep_records = keep_records
+        #: Optional zero-arg generator factory run *inside* the exclusive
+        #: flush, after the log write and before ``flushed_lsn`` advances.
+        #: This is the barrier-placement rule for a log that lives behind
+        #: a write-back device front end: group committers joining an
+        #: in-flight flush must observe a truly durable LSN, so the
+        #: device barrier has to complete before the LSN is published.
+        #: ``None`` (the default — a dedicated write-through log volume)
+        #: adds no events and keeps legacy digests bit-identical.
+        self.device_barrier = device_barrier
         self.records: List[WALRecord] = []
         self._next_lsn = 1
         self.flushed_lsn = 0
@@ -98,6 +107,8 @@ class WALog:
             target = self.appended_lsn  # everything buffered rides along
             try:
                 yield self.sim.timeout(self.flush_latency_us)
+                if self.device_barrier is not None:
+                    yield from self.device_barrier()
                 self.flushed_lsn = max(self.flushed_lsn, target)
                 self.total_flushes += 1
             finally:

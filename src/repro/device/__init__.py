@@ -1,8 +1,15 @@
 """Storage device front-ends: the legacy block device (black-box SSD with
-on-device FTL, NCQ-limited) and the native flash device (NoFTL's direct
-command interface)."""
+on-device FTL, NCQ-limited), the native flash device (NoFTL's direct
+command interface), and the hazard-safe host-side front end (admission
+control + write-back cache with an explicit durability contract)."""
 
 from .blockdev import BlockDevice, SyncBlockDevice
+from .frontend import (
+    DeviceFrontend,
+    FrontendConfig,
+    FrontendShedError,
+    wrap_storage,
+)
 from .nativedev import NativeFlashDevice, SyncNativeFlashDevice
 
 __all__ = [
@@ -10,4 +17,8 @@ __all__ = [
     "SyncBlockDevice",
     "NativeFlashDevice",
     "SyncNativeFlashDevice",
+    "DeviceFrontend",
+    "FrontendConfig",
+    "FrontendShedError",
+    "wrap_storage",
 ]

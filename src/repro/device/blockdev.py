@@ -64,6 +64,7 @@ class BlockDevice:
         self.interface_overhead_us = interface_overhead_us
         self.read_latency = LatencyRecorder("blockdev-read")
         self.write_latency = LatencyRecorder("blockdev-write")
+        self.trim_latency = LatencyRecorder("blockdev-trim")
         self.trace = ftl.trace
 
     @property
@@ -136,10 +137,16 @@ class BlockDevice:
         emit_host_op(self.trace, "write", ctx, before, elapsed)
 
     def trim(self, lba: int, ctx: Optional[OpContext] = None):
+        """DATASET MANAGEMENT travels the same host path as read/write:
+        one NCQ slot, the SATA packet overhead, then a controller slot
+        (trim always mutates FTL mapping state)."""
         if ctx is None:
             ctx = OpContext("host")
+        start = self.sim.now
+        before = dict(ctx.costs)
         yield from self._acquire(self.ncq, ctx)
         try:
+            yield self.sim.timeout(self.interface_overhead_us)
             yield from self._acquire(self.controller, ctx)
             try:
                 yield from self.executor.run(self.ftl.trim(lba), ctx=ctx)
@@ -147,6 +154,9 @@ class BlockDevice:
                 self.controller.release()
         finally:
             self.ncq.release()
+        elapsed = self.sim.now - start
+        self.trim_latency.record(elapsed)
+        emit_host_op(self.trace, "trim", ctx, before, elapsed)
 
     def _is_fast_read(self, lba: int) -> bool:
         probe = getattr(self.ftl, "is_fast_read", None)

@@ -214,6 +214,10 @@ class FlashArray:
         self._powered_off = False
         self.power_cut_op: Optional[int] = None
         self.on_power_cut = None
+        #: Additional cut-instant hooks (e.g. a device front end wiping
+        #: its volatile write-back cache).  Called after ``on_power_cut``
+        #: in registration order, still before PowerCutError propagates.
+        self.power_cut_listeners: list = []
 
         # Telemetry: command counters carry an origin label from the causal
         # context; the vec handle keeps the hot path at one dict probe on
@@ -554,6 +558,8 @@ class FlashArray:
         self._tm_power_cuts.inc()
         if self.on_power_cut is not None:
             self.on_power_cut(command)
+        for listener in self.power_cut_listeners:
+            listener(command)
         raise PowerCutError(self.power_cut_op)
 
     def _tear_program(self, ppn: int, data: Any, oob: Any) -> None:

@@ -27,7 +27,14 @@ Each spec describes one fault source:
   ``(op, command)``) the whole device loses power: the in-flight command
   leaves realistic wreckage (torn page / half-erased block) and the
   array raises :class:`~repro.flash.errors.PowerCutError` for it and
-  every command after it until ``power_cycle()``.
+  every command after it until ``power_cycle()``.  Host-side volatile
+  state dies with the device: every callable in the array's
+  ``power_cut_listeners`` list runs at the instant of the cut, *before*
+  the PowerCutError propagates — the device front end
+  (:class:`~repro.device.frontend.DeviceFrontend`) registers there so
+  its un-barriered write-back cache contents vanish exactly like DRAM
+  behind a capacitor-less controller.  Listeners must be synchronous,
+  idempotent, and must not raise.
 
 Faults are addressable by ``ppn``, ``pbn`` and/or ``die`` (AND-ed; all
 ``None`` matches everything), and can be gated by an operation-count

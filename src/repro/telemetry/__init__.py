@@ -16,6 +16,7 @@ queueing-behind-GC / retry shares from the resulting trace events (the
 """
 
 from .attribution import (
+    LiveBlame,
     blame_breakdown,
     host_ops,
     origin_mix,
@@ -51,6 +52,7 @@ __all__ = [
     "ORIGINS",
     "MAINTENANCE_ORIGINS",
     "COST_BUCKETS",
+    "LiveBlame",
     "blame_breakdown",
     "host_ops",
     "origin_mix",

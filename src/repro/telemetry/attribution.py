@@ -33,6 +33,7 @@ GC-blamed share of an op is ``gc + queue_gc``.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, Iterable, List, Optional
 
 from ..sim.stats import percentiles
@@ -45,6 +46,7 @@ __all__ = [
     "origin_mix",
     "span_rollup",
     "verify_origins",
+    "LiveBlame",
 ]
 
 #: Cost buckets a host.op event may carry, plus the residual.
@@ -52,6 +54,8 @@ BLAME_BUCKETS = (
     "media_us",
     "queue_gc_us",
     "queue_other_us",
+    "queue_hazard_us",
+    "cache_flush_us",
     "gc_us",
     "retry_us",
     "wal_us",
@@ -252,3 +256,49 @@ def span_rollup(events: Iterable[dict]) -> List[dict]:
     ]
     out.sort(key=lambda item: -item["total_us"])
     return out
+
+
+class LiveBlame:
+    """Sliding-window GC-blame share, fed *during* a run.
+
+    The offline :func:`blame_breakdown` needs the full trace; admission
+    control needs the same signal live.  Callers note each completed
+    backing op's elapsed time and its GC-blamed component (``gc_us`` +
+    ``queue_gc_us`` charged to the op's context); :meth:`gc_share`
+    answers "what fraction of recent device time was spent on or behind
+    maintenance?" over the trailing ``window_us``.  Entirely passive —
+    no events are scheduled, so attaching one never perturbs a rig's
+    digest.
+    """
+
+    __slots__ = ("window_us", "_samples", "_elapsed_sum", "_gc_sum")
+
+    def __init__(self, window_us: float = 20_000.0):
+        if window_us <= 0:
+            raise ValueError("window_us must be positive")
+        self.window_us = float(window_us)
+        self._samples: deque = deque()  # (ts, elapsed_us, gc_blamed_us)
+        self._elapsed_sum = 0.0
+        self._gc_sum = 0.0
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_us
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            _, elapsed, gc = samples.popleft()
+            self._elapsed_sum -= elapsed
+            self._gc_sum -= gc
+
+    def note(self, now: float, elapsed_us: float, gc_blamed_us: float) -> None:
+        gc_blamed_us = min(float(gc_blamed_us), float(elapsed_us))
+        self._samples.append((float(now), float(elapsed_us), gc_blamed_us))
+        self._elapsed_sum += float(elapsed_us)
+        self._gc_sum += gc_blamed_us
+        self._prune(float(now))
+
+    def gc_share(self, now: float) -> float:
+        """GC-blamed fraction of device time in the trailing window."""
+        self._prune(float(now))
+        if self._elapsed_sum <= 0.0:
+            return 0.0
+        return min(1.0, self._gc_sum / self._elapsed_sum)

@@ -31,13 +31,15 @@ __all__ = ["ORIGINS", "MAINTENANCE_ORIGINS", "COST_BUCKETS", "OpContext"]
 #: Root-cause taxonomy.  ``txn`` is foreground transaction work (buffer
 #: misses, foreground flushes), ``txn-commit`` the commit path itself,
 #: ``db-writer`` the background flusher pool, ``host`` any other host
-#: entry point (checkpoints, raw device benches).  The rest are
+#: entry point (checkpoints, raw device benches), ``frontend`` the device
+#: front end's own background destage traffic.  The rest are
 #: device-management origins raised inside the FTL / NoFTL layers.
 ORIGINS = (
     "txn",
     "txn-commit",
     "db-writer",
     "host",
+    "frontend",
     "gc",
     "merge",
     "wear-level",
@@ -60,6 +62,8 @@ COST_BUCKETS = (
     "media_us",      # this op's own commands on the die / channel
     "queue_gc_us",   # waiting behind maintenance work (die queue, locks)
     "queue_other_us",  # waiting behind other foreground work
+    "queue_hazard_us",  # stalled on a RAW/WAW/WAR hazard in the front end
+    "cache_flush_us",  # waiting for write-back cache destage / barrier
     "gc_us",         # maintenance commands run inline inside this op
     "retry_us",      # error-recovery backoff (ECC retries, outages)
     "wal_us",        # WAL flush time (commit path only)

@@ -361,3 +361,71 @@ class TestCrashSweepSmoke:
             assert cut.fired
             assert cut.acked_commits > 0
             assert cut.resumed_commits > 0
+
+
+class TestDegradedModeCut:
+    """A power cut landing while ``noftl.degraded`` is latched (spare
+    capacity exhausted, writes refused) must not poison recovery: the
+    cold-start mount rebuilds bad-block state from scan evidence and the
+    device comes back readable and integral."""
+
+    def test_cut_while_degraded_still_mounts_clean(self):
+        from repro.core.badblock import DegradedModeError
+        from repro.flash import FaultSpec
+
+        # The mount scan alone burns hundreds of flash commands, so a
+        # fixed ``at_op`` cut would fire before the test body runs.
+        # Arm the cut by hand once the device is degraded instead: the
+        # predicate stays quiet until ``armed`` flips, then pulls the
+        # plug a few commands into the degraded-mode read drain.
+        trigger = {"armed": False, "countdown": 5}
+
+        def cut_when_armed(_ops, _command):
+            if not trigger["armed"]:
+                return False
+            trigger["countdown"] -= 1
+            return trigger["countdown"] <= 0
+
+        plan = FaultPlan([FaultSpec(kind="power_cut",
+                                    predicate=cut_when_armed)])
+        array = make_array(plan)
+        sim, manager, storage, __ = make_mounted(array)
+
+        def seed():
+            for lpn in range(8):
+                yield from storage.write(lpn, data=("v", lpn))
+
+        sim.run_process(seed())
+
+        # Exhaust the spare-capacity watermark: grown-bad reports are
+        # host-RAM state, so pick high blocks that hold no data.
+        spare = manager.bad_blocks.spare_blocks
+        victim = GEO.total_blocks - 1
+        while not manager.bad_blocks.degraded:
+            manager.bad_blocks.report_grown(victim)
+            victim -= 1
+        assert victim >= GEO.total_blocks - spare - 2
+        with pytest.raises(DegradedModeError):
+            sim.run_process(storage.write(9, data="refused"))
+
+        # Reads keep working in degraded mode — until the plug is
+        # pulled at the scripted command boundary.
+        trigger["armed"] = True
+        with pytest.raises(PowerCutError):
+            def drain():
+                while True:
+                    for lpn in range(8):
+                        yield from storage.read(lpn)
+            sim.run_process(drain())
+        assert array.powered_off
+
+        array.power_cycle()
+        sim2, manager2, storage2, __report = make_mounted(array)
+        assert manager2.verify_integrity() == []
+        # Pre-cut degraded state was RAM-only: the remount starts from
+        # scan evidence and serves both reads and writes again.
+        assert not manager2.bad_blocks.degraded
+        for lpn in range(8):
+            assert sim2.run_process(storage2.read(lpn)) == ("v", lpn)
+        sim2.run_process(storage2.write(9, data="post-recovery"))
+        assert sim2.run_process(storage2.read(9)) == "post-recovery"

@@ -105,6 +105,46 @@ class TestBlockDeviceDES:
         with pytest.raises(ValueError):
             make_blockdev(ncq_depth=0)
 
+    def test_trim_travels_the_full_host_path(self):
+        """DATASET MANAGEMENT is symmetric with read/write: it pays the
+        interface overhead, records a latency sample, and emits a
+        ``host.op`` trace event — it is not a free mapping mutation."""
+        sim, device = make_blockdev()
+
+        def proc():
+            yield from device.write(5, data=b"five")
+            yield from device.trim(5)
+
+        sim.run_process(proc())
+        assert device.trim_latency.count == 1
+        sample = device.trim_latency.samples[0]
+        assert sample >= device.interface_overhead_us
+        kinds = [(e.fields.get("op"), e.kind) for e in device.trace.events
+                 if e.kind == "host.op"]
+        assert ("trim", "host.op") in kinds
+        assert ("write", "host.op") in kinds
+
+    def test_concurrent_trims_serialize_on_controller(self):
+        sim, device = make_blockdev()
+
+        def seed():
+            for lpn in range(4):
+                yield from device.write(lpn, data=lpn)
+
+        sim.run_process(seed())
+        waits_before = device.controller.total_waits
+
+        def trimmer(lpn):
+            yield from device.trim(lpn)
+
+        for lpn in range(4):
+            sim.process(trimmer(lpn))
+        sim.run()
+        # trims mutate mapping state, so like writes they contend for
+        # the controller slot instead of bypassing it as reads do
+        assert device.controller.total_waits >= waits_before + 3
+        assert device.trim_latency.count == 4
+
 
 class TestSyncBlockDevice:
     def test_roundtrip_and_trim(self):
