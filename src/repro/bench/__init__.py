@@ -12,6 +12,7 @@
 | ``lifetime``      | §5 — half the erases => ~2x flash lifetime         |
 | ``ablation``      | DESIGN.md E10 — NoFTL design-choice ablation       |
 | ``chaos``         | Fault model — TPC under injected flash faults      |
+| ``health``        | Device health: WA ledger, wear, saturation windows |
 """
 
 from .ablation import AblationResult, AblationRow, ablate_noftl

@@ -73,7 +73,7 @@ from ..flash import (
 )
 from ..core.badblock import DegradedModeError
 from ..sim import Simulator
-from ..telemetry import MetricsRegistry, OpContext
+from ..telemetry import HealthMonitor, MetricsRegistry, OpContext
 from ..workloads import TPCB, run_workload
 from .chaos import ChecksumOracle
 from .reporting import emit, export_metrics
@@ -431,6 +431,13 @@ def run_siege(
     plan = _siege_plan(seed, outage_window, spike_window, cut_op=cut_op)
     rig, db, oracle, frontend, __ = _build_siege_rig(
         geometry, footprint, seed, plan, telemetry=telemetry)
+    # Health telemetry rides on the instrumented (cut) run: the WA
+    # ledger and windowed saturation series land in the exported
+    # snapshot via the health.* collectors.
+    monitor = HealthMonitor(window_us=10_000.0, clock=lambda: rig.sim.now)
+    monitor.attach_array(rig.array)
+    monitor.attach_frontend(frontend)
+    monitor.install(telemetry)
     burst_counts = {"ops": 0, "seq": 0, "sheds": 0, "cut": 0,
                     "unwritten": 0}
     ckpt_counts = {"checkpoints": 0, "sheds": 0}

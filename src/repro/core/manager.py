@@ -467,3 +467,23 @@ class NoFTLStorageManager:
         data["bad_blocks"] = self.bad_blocks.health()
         data["occupancy"] = self.occupancy()
         return data
+
+    def health_snapshot(self) -> dict:
+        """Per-device health view in the same shape the FTLs export
+        (``BaseFTL.health_snapshot``), so ``bench.health`` can cross-
+        validate the WA ledger against either side of the NoFTL/FTL
+        comparison without special cases.  Carries the host-side wear
+        shadow per region; device truth lives in ``array.erase_counts``
+        and the two are reported side by side to surface drift."""
+        return {
+            "ftl": "NoFTL",
+            "stats": self.stats.snapshot(),
+            "bad_blocks": self.bad_blocks.health(),
+            "regions": [
+                {
+                    "occupancy": region.space.occupancy(),
+                    "wear_shadow": region.space.wear_shadow(),
+                }
+                for region in self.regions.regions
+            ],
+        }

@@ -22,7 +22,7 @@ from typing import Callable, Deque, Dict, Optional
 
 from ..sim import Event, Granted, Simulator
 from ..telemetry import EventTrace, MetricsRegistry, OpContext
-from .page import decode_page
+from .page import BTreeNodePage, decode_page
 from .storage import StorageAdapter
 from .wal import WALog
 
@@ -309,6 +309,13 @@ class BufferPool:
             wal_start = self.telemetry.now()
             yield from self.wal.flush_to(lsn)
             ctx.charge("wal_us", self.telemetry.now() - wal_start)
+            # Classify the write-back for the WA ledger.  The flush ctx is
+            # used strictly sequentially (``yield from`` returns only after
+            # the write is accounted), so restamping per frame is safe even
+            # when one ctx covers a whole checkpoint loop.
+            ctx.data_class = (
+                "btree" if isinstance(frame.page, BTreeNodePage) else "heap"
+            )
             yield from self.storage.write(frame.page_id, raw, frame.hint,
                                           ctx=ctx)
             if frame.dirty_seq == seq:

@@ -283,6 +283,12 @@ class DeviceFrontend:
             self._tm_volatile_lost = self._tm_throttled = null
             self._tm_dirty = self._tm_barrier_us = null
 
+        #: Opt-in :class:`repro.telemetry.health.LoadWindowEngine`; set by
+        #: ``HealthMonitor.attach_frontend``.  Entirely passive — the
+        #: engine schedules nothing, so attaching it never perturbs event
+        #: order (digests of rigs without it are untouched by design).
+        self.load_monitor = None
+
         # shed tallies kept locally too, so the siege report can compare
         # "sheds raised" against "sheds observed by callers" without a
         # registry in the loop.
@@ -409,6 +415,9 @@ class DeviceFrontend:
     def _shed(self, cls: str, reason: str = "deadline passed"):
         self.shed_counts[cls] = self.shed_counts.get(cls, 0) + 1
         self._tm_sheds.labels(cls).inc()
+        monitor = self.load_monitor
+        if monitor is not None:
+            monitor.note_shed(self.sim.now, cls)
         raise FrontendShedError(cls, reason)
 
     # -- hazard helpers ----------------------------------------------------
@@ -542,6 +551,9 @@ class DeviceFrontend:
                 self._release("read")
         elapsed = self.sim.now - start
         self.read_latency.record(elapsed)
+        monitor = self.load_monitor
+        if monitor is not None:
+            monitor.note_op(self.sim.now, "read", elapsed)
         if tracing:
             emit_host_op(trace, "read", ctx, before, elapsed)
         return data
@@ -596,6 +608,13 @@ class DeviceFrontend:
             yield self.sim.timeout(cfg.ack_latency_us)
         elapsed = self.sim.now - start
         self.ack_latency.record(elapsed)
+        monitor = self.load_monitor
+        if monitor is not None:
+            monitor.note_op(
+                self.sim.now, "write", elapsed,
+                queued=sum(self._qdepth.values()),
+                dirty_ratio=len(self._cache) / cfg.cache_pages,
+            )
         if tracing:
             emit_host_op(trace, "write", ctx, before, elapsed)
 
@@ -641,6 +660,9 @@ class DeviceFrontend:
         finally:
             self._release("trim")
         self._last_destaged.pop(lpn, None)
+        monitor = self.load_monitor
+        if monitor is not None:
+            monitor.note_op(self.sim.now, "trim", self.sim.now - start)
         if tracing:
             emit_host_op(trace, "trim", ctx, before, self.sim.now - start)
 
@@ -689,6 +711,9 @@ class DeviceFrontend:
         self.barrier_count += 1
         self._tm_barriers.inc()
         self._tm_barrier_us.observe(elapsed)
+        monitor = self.load_monitor
+        if monitor is not None:
+            monitor.note_op(self.sim.now, "barrier", elapsed)
 
     # -- destage machinery -------------------------------------------------
 

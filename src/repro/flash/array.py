@@ -214,6 +214,12 @@ class FlashArray:
         self._powered_off = False
         self.power_cut_op: Optional[int] = None
         self.on_power_cut = None
+        #: Opt-in health attachment point (see
+        #: :class:`repro.telemetry.health.HealthMonitor`): when set, its
+        #: ``record(op, die, latency_us, ctx, oob)`` is called for every
+        #: accounted command.  Strictly passive — the golden-digest rigs
+        #: leave it None and pay one attribute load + None check.
+        self.health = None
         #: Additional cut-instant hooks (e.g. a device front end wiping
         #: its volatile write-back cache).  Called after ``on_power_cut``
         #: in registration order, still before PowerCutError propagates.
@@ -325,15 +331,28 @@ class FlashArray:
 
     # -- accounting ----------------------------------------------------------------
 
-    def _account(self, command: FlashCommand, op: str, die: int, latency: float) -> None:
+    def _account(
+        self,
+        command: FlashCommand,
+        op: str,
+        die: int,
+        latency: float,
+        oob: Any = None,
+    ) -> None:
         """Per-command telemetry: origin-labelled counter, busy time, and
         (when tracing) one ``flash.cmd`` event.  Called before failure
         checks raise, so attempted-but-failed commands are counted exactly
-        as the raw :class:`ArrayCounters` count them."""
+        as the raw :class:`ArrayCounters` count them.  ``oob`` is the
+        *effective* OOB of a program/copyback (after the copyback source
+        fallback), handed to the health hook so the WA ledger can resolve
+        the lpn being written."""
         ctx = command.ctx
         origin = ctx.origin if ctx is not None else "host"
         self._tm_ops.labels(op, die, origin).inc()
         self._tm_busy[die].inc(latency)
+        health = self.health
+        if health is not None:
+            health.record(op, die, latency, ctx, oob)
         trace = self.trace
         if trace is not None and trace.enabled:
             if ctx is not None:
@@ -435,7 +454,7 @@ class FlashArray:
         self.counters.per_die_ops[die] += 1
         latency = self._program_latency_us
         self.counters.busy_us += latency
-        self._account(command, "program", die, latency)
+        self._account(command, "program", die, latency, oob=command.oob)
         if failed:
             raise ProgramError(ppn, pbn)
         return CommandResult(command, latency_us=latency, die=die)
@@ -492,12 +511,13 @@ class FlashArray:
             # clear; only a failed program of real payload taints the copy.
             if failed and self.checksum and self._data[src] is not None:
                 self._poisoned[dst] = 1
-        self._oob[dst] = command.oob if command.oob is not None else self._oob[src]
+        oob = command.oob if command.oob is not None else self._oob[src]
+        self._oob[dst] = oob
         self.counters.copybacks += 1
         self.counters.per_die_ops[die] += 1
         latency = self._copyback_latency_us
         self.counters.busy_us += latency
-        self._account(command, "copyback", die, latency)
+        self._account(command, "copyback", die, latency, oob=oob)
         if failed:
             raise ProgramError(dst, dst_pbn)
         return CommandResult(command, latency_us=latency, die=die)

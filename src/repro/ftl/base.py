@@ -134,6 +134,14 @@ class BaseFTL:
         latency attribution; FTLs with real maintenance override it."""
         return False
 
+    def health_snapshot(self) -> dict:
+        """Per-FTL contribution to the device health report
+        (``python -m repro.bench.health``): the classic stats counters —
+        the spot-check the WA ledger's numbers are cross-validated
+        against.  Subclasses extend with their own state (log occupancy,
+        map-cache hit ratio, ...)."""
+        return {"ftl": self.name, "stats": self.stats.snapshot()}
+
     def _check_lpn(self, lpn: int) -> None:
         if not 0 <= lpn < self.logical_pages:
             raise ValueError(f"lpn {lpn} outside logical space 0..{self.logical_pages - 1}")

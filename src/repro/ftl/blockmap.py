@@ -17,7 +17,12 @@ from array import array as _array
 from collections import deque
 from typing import Deque, Iterable, Optional
 
-from ..flash.commands import EraseBlock, ProgramPage, tag_commands
+from ..flash.commands import (
+    EraseBlock,
+    ProgramPage,
+    stamp_context,
+    tag_commands,
+)
 from ..flash.errors import BlockWornOut
 from ..flash.geometry import Geometry
 from ..telemetry import EventTrace, MetricsRegistry, OpContext
@@ -98,7 +103,15 @@ class BlockMapFTL(BaseFTL):
         for page in range(pages_per_block):
             dst = self.geometry.ppn_of(new_pbn, page)
             if page == offset:
-                yield ProgramPage(ppn=dst, data=data, oob={"lpn": base + page})
+                # The page the host actually asked to write: pre-stamped
+                # host-class so the surrounding "merge" tag (and the WA
+                # ledger) charges only the *forced* relocations to
+                # maintenance, not the host's own logical write.  The
+                # executor adopts this chain under the live request.
+                yield stamp_context(
+                    ProgramPage(ppn=dst, data=data, oob={"lpn": base + page}),
+                    OpContext("host"),
+                )
                 new_written[page] = 1
                 high = page + 1
             elif self._written[base + page]:
@@ -126,3 +139,8 @@ class BlockMapFTL(BaseFTL):
 
     def is_fast_read(self, lpn: int) -> bool:
         return True
+
+    def health_snapshot(self) -> dict:
+        out = super().health_snapshot()
+        out["free_blocks"] = len(self._free)
+        return out

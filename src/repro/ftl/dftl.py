@@ -32,8 +32,9 @@ import random
 from collections import OrderedDict
 from typing import Iterable, List, Optional, Tuple
 
+from ..flash.commands import tag_commands
 from ..flash.geometry import Geometry
-from ..telemetry import EventTrace, MetricsRegistry
+from ..telemetry import EventTrace, MetricsRegistry, OpContext
 from .base import UNMAPPED, BaseFTL, MappingState, read_page_with_retry
 from .pagespace import PageMappedSpace
 
@@ -193,7 +194,15 @@ class DFTL(BaseFTL):
                 stats=self.stats, counter=self._tm_read_retries,
             )
         self.stats.map_programs += 1
-        yield from self.space.write(self._tp_lpn(tvpn), data=("TP", tvpn))
+        # The translation-page program runs under the adopting host
+        # request but is device overhead, not host data: stamp it with
+        # the ``map`` data class so the WA ledger counts it as physical-
+        # only (the executor adopts this chain under the request ctx, so
+        # blame charging is unchanged).
+        yield from tag_commands(
+            self.space.write(self._tp_lpn(tvpn), data=("TP", tvpn)),
+            OpContext("host", data_class="map"),
+        )
         low = tvpn * self.entries_per_tp
         high = low + self.entries_per_tp
         for cached_lpn in list(self._cmt):
@@ -238,3 +247,15 @@ class DFTL(BaseFTL):
     def cmt_hit_ratio(self) -> float:
         total = self.cmt_hits + self.cmt_misses
         return self.cmt_hits / total if total else 0.0
+
+    def health_snapshot(self) -> dict:
+        out = super().health_snapshot()
+        out["cmt"] = {
+            "entries": len(self._cmt),
+            "capacity": self.cmt_entries,
+            "hits": self.cmt_hits,
+            "misses": self.cmt_misses,
+            "hit_ratio": round(self.cmt_hit_ratio, 4),
+        }
+        out["occupancy"] = self.space.occupancy()
+        return out

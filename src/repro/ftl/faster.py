@@ -585,3 +585,8 @@ class FASTer(BaseFTL):
             "live_log_entries": self._log_live,
             "second_chanced": self._second_chanced_live,
         }
+
+    def health_snapshot(self) -> dict:
+        out = super().health_snapshot()
+        out["log"] = self.log_occupancy()
+        return out

@@ -88,3 +88,9 @@ class PageMapFTL(BaseFTL):
     @property
     def maintenance_active(self) -> bool:
         return self.space.maintenance_active
+
+    def health_snapshot(self) -> dict:
+        out = super().health_snapshot()
+        out["occupancy"] = self.space.occupancy()
+        out["wear_shadow"] = self.space.wear_shadow()
+        return out

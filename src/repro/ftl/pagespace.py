@@ -729,3 +729,20 @@ class PageMappedSpace:
             "suspect_blocks": len(self.suspect_blocks),
             "quarantined_blocks": len(self.quarantined_blocks),
         }
+
+    def wear_shadow(self) -> dict:
+        """Host-side erase-count shadow (what the wear-leveler steers by).
+
+        The array's flat ``erase_counts`` are the device truth; this is
+        the host's view, grown lazily as this space erases blocks.  The
+        health report carries both so drift between them is visible.
+        """
+        counts = sorted(self.erase_counts.values())
+        if not counts:
+            return {"blocks_seen": 0, "min": 0, "max": 0, "mean": 0.0}
+        return {
+            "blocks_seen": len(counts),
+            "min": counts[0],
+            "max": counts[-1],
+            "mean": round(sum(counts) / len(counts), 4),
+        }

@@ -13,18 +13,35 @@ cause down to individual flash commands, and
 :mod:`repro.telemetry.attribution` decomposes tail latency into media /
 queueing-behind-GC / retry shares from the resulting trace events (the
 ``python -m repro.bench.observe`` dashboard).
+:mod:`repro.telemetry.health` adds the opt-in device-health layer: the
+write-amplification ledger, wear/endurance accounting, and the live
+windowed load/saturation engine behind ``python -m repro.bench.health``.
 """
 
 from .attribution import (
     LiveBlame,
     blame_breakdown,
+    credit_busy,
     host_ops,
     origin_mix,
     span_rollup,
     verify_origins,
     windowed_series,
 )
-from .context import COST_BUCKETS, MAINTENANCE_ORIGINS, ORIGINS, OpContext
+from .context import (
+    COST_BUCKETS,
+    DATA_CLASSES,
+    MAINTENANCE_ORIGINS,
+    ORIGINS,
+    OpContext,
+    data_class_of,
+)
+from .health import (
+    HealthMonitor,
+    LoadWindowEngine,
+    WriteAmplificationLedger,
+    wear_report,
+)
 from .registry import (
     FLASH_OPS,
     Counter,
@@ -52,11 +69,18 @@ __all__ = [
     "ORIGINS",
     "MAINTENANCE_ORIGINS",
     "COST_BUCKETS",
+    "DATA_CLASSES",
+    "data_class_of",
     "LiveBlame",
     "blame_breakdown",
+    "credit_busy",
     "host_ops",
     "origin_mix",
     "span_rollup",
     "verify_origins",
     "windowed_series",
+    "HealthMonitor",
+    "LoadWindowEngine",
+    "WriteAmplificationLedger",
+    "wear_report",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "host_ops",
     "blame_breakdown",
     "windowed_series",
+    "credit_busy",
     "origin_mix",
     "span_rollup",
     "verify_origins",
@@ -138,6 +139,49 @@ def blame_breakdown(
     }
 
 
+def credit_busy(
+    series: List[float],
+    t0: float,
+    window_us: float,
+    start: float,
+    duration_us: float,
+) -> None:
+    """Credit ``duration_us`` of busy time onto fixed windows.
+
+    The occupancy interval ``[start, start + duration_us)`` is split
+    exactly across the windows it covers — a command straddling a window
+    boundary credits each window only the time it actually spent there.
+    Time falling before the first window is credited to the first, time
+    past the last edge to the last, so the series total always equals the
+    total busy time handed in.  Shared by the replay-path
+    :func:`windowed_series` and the live
+    :class:`repro.telemetry.health.LoadWindowEngine`, which keeps the two
+    paths' numbers consistent by construction.
+    """
+    nwin = len(series)
+    if nwin == 0 or duration_us <= 0.0:
+        return
+    last = nwin - 1
+    idx = int((start - t0) // window_us)
+    if idx < 0:
+        idx = 0
+        start = t0
+    elif idx > last:
+        idx = last
+    remaining = float(duration_us)
+    cursor = start
+    while idx < last:
+        edge = t0 + (idx + 1) * window_us
+        take = edge - cursor
+        if take >= remaining:
+            break
+        series[idx] += take
+        remaining -= take
+        cursor = edge
+        idx += 1
+    series[idx] += remaining
+
+
 def windowed_series(
     events: Iterable[dict],
     window_us: float = 100_000.0,
@@ -147,9 +191,10 @@ def windowed_series(
 
     Returns ``{"window_us", "windows": [t0, t1, ...], "ops": [...],
     "die_busy": {die: [fraction, ...]}, "maintenance_cmds": [...]}``.
-    Die busy fractions credit each ``flash.cmd``'s latency to the window
-    containing its timestamp (commands rarely straddle windows at these
-    scales; the approximation keeps the pass single-scan).
+    Die busy time treats each ``flash.cmd``'s timestamp as the start of
+    its die occupancy and splits the latency exactly across the windows
+    it covers (:func:`credit_busy`); op/maintenance *counts* still land
+    in the window containing the command's timestamp.
     """
     if window_us <= 0:
         raise ValueError("window_us must be positive")
@@ -168,14 +213,16 @@ def windowed_series(
         kind = event.get("kind")
         if kind not in ("host.op", "flash.cmd"):
             continue
-        idx = min(nwin - 1, int((float(event["ts"]) - t0) / window_us))
+        ts = float(event["ts"])
+        idx = min(nwin - 1, int((ts - t0) / window_us))
         if kind == "host.op":
             ops[idx] += 1
             continue
         die = event.get("die")
         if die is not None:
             per_die = die_busy.setdefault(int(die), [0.0] * nwin)
-            per_die[idx] += float(event.get("latency_us", 0.0))
+            credit_busy(per_die, t0, window_us, ts,
+                        float(event.get("latency_us", 0.0)))
         if event.get("origin") in MAINTENANCE_ORIGINS:
             maintenance[idx] += 1
     return {

@@ -26,7 +26,14 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
-__all__ = ["ORIGINS", "MAINTENANCE_ORIGINS", "COST_BUCKETS", "OpContext"]
+__all__ = [
+    "ORIGINS",
+    "MAINTENANCE_ORIGINS",
+    "COST_BUCKETS",
+    "DATA_CLASSES",
+    "OpContext",
+    "data_class_of",
+]
 
 #: Root-cause taxonomy.  ``txn`` is foreground transaction work (buffer
 #: misses, foreground flushes), ``txn-commit`` the commit path itself,
@@ -57,6 +64,41 @@ MAINTENANCE_ORIGINS = frozenset(
     {"gc", "merge", "wear-level", "scrub", "evacuation"}
 )
 
+#: Host data classes a write may belong to (the WA ledger's second
+#: axis).  Host layers stamp them on the contexts they create (the
+#: buffer pool knows a heap page from a B-tree node; DFTL marks its own
+#: translation-page traffic ``map``); anything unstamped resolves via
+#: :func:`data_class_of`'s origin fallback.  ``temp`` is reserved for
+#: spill/sort traffic (no current producer) so reports always list it.
+DATA_CLASSES = ("wal", "heap", "btree", "map", "temp", "recovery", "unknown")
+
+#: Origin -> data-class fallback for contexts with no explicit stamp.
+_ORIGIN_DATA_CLASS = {"txn-commit": "wal", "recovery": "recovery"}
+
+
+def data_class_of(ctx: Optional["OpContext"]) -> Optional[str]:
+    """Resolve the host data class of a context chain, or None.
+
+    Walks from the leaf toward the root, returning the first explicit
+    ``data_class``.  A maintenance leaf (GC, merge, ...) returns None
+    immediately: the chain only says *which request adopted the work*,
+    not which logical page is being moved — the WA ledger classifies
+    those by the OOB lpn instead.  Host-class chains with no stamp fall
+    back on the origin (commit traffic is WAL, recovery is recovery).
+    """
+    node = ctx
+    fallback = None
+    while node is not None:
+        if node.origin in MAINTENANCE_ORIGINS:
+            return None
+        if node.data_class is not None:
+            return node.data_class
+        if fallback is None:
+            fallback = _ORIGIN_DATA_CLASS.get(node.origin)
+        node = node.parent
+    return fallback
+
+
 #: Buckets the executors / host layers charge into (always microseconds).
 COST_BUCKETS = (
     "media_us",      # this op's own commands on the die / channel
@@ -75,6 +117,7 @@ class OpContext:
 
     __slots__ = (
         "origin", "txn_id", "writer_id", "die", "parent", "ctx_id", "costs",
+        "data_class",
     )
 
     _ids = itertools.count(1)
@@ -86,14 +129,18 @@ class OpContext:
         writer_id: Optional[int] = None,
         die: Optional[int] = None,
         parent: Optional["OpContext"] = None,
+        data_class: Optional[str] = None,
     ):
         if origin not in _ORIGIN_SET:
             raise ValueError(f"unknown origin {origin!r}")
+        if data_class is not None and data_class not in DATA_CLASSES:
+            raise ValueError(f"unknown data class {data_class!r}")
         self.origin = origin
         self.txn_id = txn_id
         self.writer_id = writer_id
         self.die = die
         self.parent = parent
+        self.data_class = data_class
         self.ctx_id = next(OpContext._ids)
         self.costs: dict = {}
 
@@ -103,6 +150,7 @@ class OpContext:
         """A sub-context caused by this one (e.g. a merge inside GC)."""
         kw.setdefault("txn_id", self.txn_id)
         kw.setdefault("writer_id", self.writer_id)
+        kw.setdefault("data_class", self.data_class)
         return OpContext(origin, parent=self, **kw)
 
     def root(self) -> "OpContext":
@@ -156,6 +204,8 @@ class OpContext:
             out["writer"] = self.writer_id
         if self.die is not None:
             out["die"] = self.die
+        if self.data_class is not None:
+            out["data_class"] = self.data_class
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -40,6 +40,21 @@ __all__ = [
 #: Canonical (sorted) label representation used as part of instrument keys.
 LabelSet = Tuple[Tuple[str, object], ...]
 
+#: Gauge merge policies for :meth:`MetricsRegistry.merge_from`.
+#: ``sum`` for additive state (queue depths, dirty pages: the fleet's
+#: total backlog is the sum over shards), ``max`` for indicator/level
+#: gauges (a fleet is degraded if *any* shard is), ``last`` for the old
+#: last-write-wins behaviour where a true point value is wanted.
+GAUGE_MERGE_POLICIES = ("sum", "max", "last")
+
+#: Per-name defaults for the gauges the stack registers today.  Anything
+#: unlisted merges with ``sum`` — the right default for the additive
+#: occupancy/backlog gauges that dominate, and loudly wrong (instead of
+#: silently wrong) for a level gauge someone forgets to classify.
+GAUGE_MERGE_DEFAULTS = {
+    "noftl.degraded": "max",
+}
+
 
 def _labelset(labels: Dict[str, object]) -> LabelSet:
     return tuple(sorted(labels.items()))
@@ -216,6 +231,7 @@ class MetricsRegistry:
         self._gauges: Dict[str, Dict[LabelSet, Gauge]] = {}
         self._histograms: Dict[str, Dict[LabelSet, Histogram]] = {}
         self._collectors: Dict[str, Callable[[], dict]] = {}
+        self._gauge_merge: Dict[str, str] = dict(GAUGE_MERGE_DEFAULTS)
         self._seq = 0
         self._clock = clock
         self.histogram_max_samples = histogram_max_samples
@@ -338,21 +354,51 @@ class MetricsRegistry:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
 
+    def set_gauge_merge(self, name: str, policy: str) -> None:
+        """Declare how gauges named ``name`` combine in :meth:`merge_from`.
+
+        ``sum`` (default) adds shard readings — right for queue depths,
+        dirty pages and any other additive backlog; ``max`` keeps the
+        largest — right for 0/1 indicator and level gauges; ``last`` is
+        the legacy last-write-wins for true point-in-time values.
+        """
+        if policy not in GAUGE_MERGE_POLICIES:
+            raise ValueError(
+                f"unknown gauge merge policy {policy!r}; "
+                f"expected one of {GAUGE_MERGE_POLICIES}"
+            )
+        self._gauge_merge[name] = policy
+
     def merge_from(self, other: "MetricsRegistry") -> None:
         """Fold another registry's counters, gauges *and* histograms into
-        this one (multi-device benches building one artifact).
+        this one (multi-device benches building one fleet artifact).
 
         Counters sum; histogram samples are re-observed into the local
-        instrument (so a local reservoir bound still applies); gauges are
-        point-in-time values, so the merged-in registry's reading wins.
-        Collectors are not merged — they are bound to live objects.
+        instrument (so a local reservoir bound still applies); gauges
+        combine under their declared :meth:`set_gauge_merge` policy —
+        ``sum`` unless overridden, so queue-depth/dirty gauges report the
+        fleet total instead of whichever shard merged last.  Merge each
+        source once into a fresh rollup registry: re-merging a shard
+        double-counts its counters and summed gauges by design.
+        Collectors are not merged — they are bound to live objects owned
+        by the source rig and must not outlive it.
         """
         for name, family in other._counters.items():
             for labelset, counter in family.items():
                 self.counter(name, **dict(labelset)).inc(counter.value)
         for name, family in other._gauges.items():
+            policy = self._gauge_merge.get(
+                name, other._gauge_merge.get(name, "sum")
+            )
             for labelset, gauge in family.items():
-                self.gauge(name, **dict(labelset)).set(gauge.value)
+                mine = self.gauge(name, **dict(labelset))
+                if policy == "sum":
+                    mine.inc(gauge.value)
+                elif policy == "max":
+                    if gauge.value > mine.value:
+                        mine.set(gauge.value)
+                else:  # "last"
+                    mine.set(gauge.value)
         for name, family in other._histograms.items():
             for labelset, histogram in family.items():
                 mine = self.histogram(name, **dict(labelset))

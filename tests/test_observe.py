@@ -197,7 +197,15 @@ class TestAttribution:
         series = windowed_series(self._events(), window_us=25.0)
         assert len(series["windows"]) == 2
         assert sum(series["ops"]) == 2
-        assert series["die_busy"][0][0] == pytest.approx(200.0 / 25.0)
+        # Die-busy credit is split across window edges: the program starts
+        # at ts=30 with 200us of latency, so window [10, 35) holds 5us and
+        # the remainder lands in the last window (35, the series tail).
+        assert series["die_busy"][0][0] == pytest.approx(5.0 / 25.0)
+        assert series["die_busy"][0][1] == pytest.approx(195.0 / 25.0)
+        # die 1: read at ts=40 for 50us, entirely inside the final window.
+        assert series["die_busy"][1][1] == pytest.approx(50.0 / 25.0)
+        # Total busy time is conserved by the split.
+        assert sum(series["die_busy"][0]) * 25.0 == pytest.approx(200.0)
         assert series["maintenance_cmds"][0] == 1
 
 
