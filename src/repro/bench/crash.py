@@ -49,6 +49,7 @@ from ..workloads import TPCB, TPCC, run_workload
 from .reporting import emit, export_metrics, render_table
 from .rigs import attach_database, build_noftl_rig, sized_geometry, \
     measure_workload_footprint
+from .sweep import SweepTask, run_sweep
 
 __all__ = ["CutReport", "CrashReport", "run_crash_sweep"]
 
@@ -323,6 +324,23 @@ def _run_one_cut(workload_name: str, geometry, footprint: int, seed: int,
     return report
 
 
+def _cut_task(workload_name: str, geometry, footprint: int, seed: int,
+              cut_op: int, duration_us: float, resume_us: float,
+              num_terminals: int) -> Tuple[MetricsRegistry, CutReport]:
+    """One power-cut audit against a fresh registry (sweep task body).
+
+    This is the unit :func:`~repro.bench.sweep.run_sweep` dispatches —
+    in-process for ``workers=1``, in a pool worker otherwise.  The fresh
+    registry is what makes the parallel merge byte-identical to a
+    sequential sweep: both modes produce the same per-cut registries and
+    the parent folds them into its master in the same cut order.
+    """
+    registry = MetricsRegistry()
+    report = _run_one_cut(workload_name, geometry, footprint, seed, cut_op,
+                          duration_us, resume_us, num_terminals, registry)
+    return registry, report
+
+
 def run_crash_sweep(
     workload_name: str = "tpcb",
     cuts: int = 10,
@@ -331,8 +349,15 @@ def run_crash_sweep(
     resume_us: float = 40_000.0,
     num_terminals: int = 8,
     telemetry: Optional[MetricsRegistry] = None,
+    workers: int = 1,
 ) -> CrashReport:
-    """Baseline run → N seeded cut points → cold start + audits per cut."""
+    """Baseline run → N seeded cut points → cold start + audits per cut.
+
+    ``workers > 1`` fans the (fully independent) cut audits out over a
+    process pool; per-cut telemetry merges back into the master registry
+    in cut order, so report and telemetry are byte-identical to a
+    ``workers=1`` sweep.
+    """
     telemetry = telemetry or MetricsRegistry()
     report = CrashReport(workload=workload_name, seed=seed,
                          telemetry=telemetry)
@@ -366,15 +391,36 @@ def run_crash_sweep(
     else:
         cut_ops = sorted(rng.sample(span, cuts))
 
-    for cut_op in cut_ops:
-        cut = _run_one_cut(workload_name, geometry, footprint, seed,
-                           cut_op, duration_us, resume_us, num_terminals,
-                           telemetry)
+    tasks = [
+        SweepTask(
+            label=f"{workload_name}@op{cut_op}",
+            fn="repro.bench.crash:_cut_task",
+            kwargs={
+                "workload_name": workload_name,
+                "geometry": geometry,
+                "footprint": footprint,
+                "seed": seed,
+                "cut_op": cut_op,
+                "duration_us": duration_us,
+                "resume_us": resume_us,
+                "num_terminals": num_terminals,
+            },
+        )
+        for cut_op in cut_ops
+    ]
+
+    def on_result(index, task, result):
+        # Runs in the parent, in cut order, regardless of worker count:
+        # the merge sequence (and the progress lines) are deterministic.
+        cut_registry, cut = result
+        telemetry.merge_from(cut_registry)
         report.cuts.append(cut)
         verdict = "ok" if cut.ok else "FAILED"
-        emit(f"  cut @ op {cut_op}: durable_lsn={cut.durable_lsn} "
+        emit(f"  cut @ op {cut.cut_op}: durable_lsn={cut.durable_lsn} "
              f"acked={cut.acked_commits} torn={cut.torn_pages} "
              f"resumed={cut.resumed_commits} [{verdict}]")
+
+    run_sweep(tasks, workers=workers, on_result=on_result)
 
     telemetry.register_collector(f"crash.{workload_name}",
                                  report.snapshot)
@@ -410,6 +456,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--duration-us", type=float, default=120_000.0)
     parser.add_argument("--resume-us", type=float, default=40_000.0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for the cut audits "
+                             "(1 = in-process; output is byte-identical "
+                             "either way)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if any cut point fails")
     parser.add_argument("--export", action="store_true",
@@ -424,6 +474,7 @@ def main(argv=None) -> int:
         report = run_crash_sweep(
             workload_name=name, cuts=args.cuts, seed=args.seed,
             duration_us=args.duration_us, resume_us=args.resume_us,
+            workers=args.workers,
         )
         _print_report(report)
         if args.export:

@@ -43,6 +43,7 @@ import argparse
 import hashlib
 import json
 import os
+import platform
 import random
 import time
 from dataclasses import asdict, dataclass
@@ -115,6 +116,7 @@ def run_rig(
     dies: int = 8,
     terminals: int = 16,
     writers: int = 8,
+    profiler=None,
 ) -> PerfPoint:
     """Build one fixed-seed NoFTL rig, run it, and time the run phase.
 
@@ -122,6 +124,11 @@ def run_rig(
     the number reflects the steady-state event-loop rate, but the
     digest covers the whole run — load included — because the telemetry
     registry accumulates from the first command.
+
+    ``profiler`` (a ``cProfile.Profile``) is enabled only around the
+    timed window, so the profile matches what ``wall_s`` measured.  Note
+    the tracer itself slows the run ~3x and overweights call-heavy
+    frames — use it to find hot paths, never to compare absolute rates.
     """
     workload = _make_workload(rig)
     footprint = measure_workload_footprint(workload)
@@ -142,6 +149,8 @@ def run_rig(
 
     events_before = getattr(sim, "events_processed", 0)
     sim_before = sim.now
+    if profiler is not None:
+        profiler.enable()
     wall_start = time.perf_counter()
     stats = run_workload(sim, db, run_phase_workload,
                          duration_us=duration_us,
@@ -149,6 +158,8 @@ def run_rig(
                          rng=random.Random(seed),
                          preloaded=True)
     wall_s = time.perf_counter() - wall_start
+    if profiler is not None:
+        profiler.disable()
     events = getattr(sim, "events_processed", 0) - events_before
     sim_us = sim.now - sim_before
 
@@ -181,8 +192,14 @@ def load_baseline(path: str) -> Dict[str, dict]:
 def write_baseline(path: str, points: Sequence[PerfPoint],
                    derate: float = 1.0) -> None:
     """Record per-rig floors.  ``derate`` scales the measured events/sec
-    down (e.g. 0.5) so the checked-in floor tolerates slower CI hosts."""
-    payload = {
+    down (e.g. 0.5) so the checked-in floor tolerates slower CI hosts.
+
+    A ``meta`` block records the capturing interpreter and platform —
+    CPython minor versions differ by tens of percent on this workload,
+    so ``--check`` warns loudly when the checking interpreter doesn't
+    match the one that captured the floors.
+    """
+    payload: Dict[str, dict] = {
         point.rig: {
             "events_per_sec": point.events_per_sec * derate,
             "ops_per_sec": point.ops_per_sec * derate,
@@ -191,10 +208,39 @@ def write_baseline(path: str, points: Sequence[PerfPoint],
         }
         for point in points
     }
+    payload["meta"] = {
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+    }
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def baseline_interpreter_mismatch(baseline: Dict[str, dict]) -> List[str]:
+    """Human-readable warnings when the current interpreter/platform
+    differs from the one that captured the baseline floors.  Baselines
+    written before the meta block existed produce no warnings."""
+    meta = baseline.get("meta")
+    if not isinstance(meta, dict):
+        return []
+    warnings = []
+    captured_py = meta.get("python_version")
+    if captured_py and captured_py != platform.python_version():
+        warnings.append(
+            f"baseline was captured on Python {captured_py} but this is "
+            f"Python {platform.python_version()} — interpreter speed "
+            "differs across versions; floors may be meaningless here"
+        )
+    captured_platform = meta.get("platform")
+    if captured_platform and captured_platform != platform.platform():
+        warnings.append(
+            f"baseline was captured on '{captured_platform}' but this "
+            f"host is '{platform.platform()}' — cross-machine floors "
+            "only hold if the derate absorbed the hardware gap"
+        )
+    return warnings
 
 
 def check_regression(points: Sequence[PerfPoint], baseline: Dict[str, dict],
@@ -239,6 +285,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--determinism", action="store_true",
                         help="run every rig twice and exit nonzero unless "
                              "both runs produce identical metrics digests")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the timed window of each rig and "
+                             "write a top-25-by-cumulative report next to "
+                             "the BENCH JSON (the tracer slows the run; "
+                             "wall_s/rates from a profiled run are not "
+                             "comparable to the baseline)")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help=f"baseline JSON path (default {DEFAULT_BASELINE})")
     parser.add_argument("--tolerance", type=float, default=0.20,
@@ -261,7 +313,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     points: List[PerfPoint] = []
     digest_failures: List[str] = []
     for rig in rigs:
-        point = run_rig(rig, seed=args.seed, duration_us=duration)
+        profiler = None
+        if args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+        point = run_rig(rig, seed=args.seed, duration_us=duration,
+                        profiler=profiler)
+        if profiler is not None:
+            import io
+            import pstats
+
+            out = io.StringIO()
+            stats = pstats.Stats(profiler, stream=out)
+            stats.sort_stats("cumulative").print_stats(25)
+            out_dir = os.environ.get("REPRO_METRICS_DIR",
+                                     os.path.join("benchmarks", "out"))
+            os.makedirs(out_dir, exist_ok=True)
+            profile_path = os.path.join(out_dir, f"PROFILE_{rig}.txt")
+            with open(profile_path, "w", encoding="utf-8") as handle:
+                handle.write(out.getvalue())
+            emit(f"  {rig} profile (top 25 cumulative): {profile_path}")
         points.append(point)
         payload = point.as_dict()
         if args.determinism:
@@ -313,6 +385,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             emit(f"no baseline at {args.baseline}; "
                  "run with --write-baseline first")
             return 2
+        for warning in baseline_interpreter_mismatch(baseline):
+            emit("=" * 72)
+            emit(f"WARNING: {warning}")
+            emit("=" * 72)
         failures = check_regression(points, baseline,
                                     tolerance=args.tolerance)
         if failures:

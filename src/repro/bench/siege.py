@@ -512,14 +512,79 @@ def run_siege(
     return report
 
 
+def _siege_task(seed: int, duration_us: float, resume_us: float,
+                cut_fraction: float):
+    """One full siege against a fresh registry (sweep task body)."""
+    registry = MetricsRegistry()
+    report = run_siege(seed=seed, duration_us=duration_us,
+                       resume_us=resume_us, cut_fraction=cut_fraction,
+                       telemetry=registry)
+    return registry, report
+
+
+def run_siege_sweep(
+    seeds,
+    duration_us: float = 140_000.0,
+    resume_us: float = 40_000.0,
+    cut_fraction: float = 0.72,
+    workers: int = 1,
+    telemetry: Optional[MetricsRegistry] = None,
+):
+    """One independent siege per seed, optionally across a process pool.
+
+    Returns ``(reports, telemetry)``: the per-seed
+    :class:`SiegeReport` list in seed order and the master registry the
+    per-seed registries merged into (in seed order — so the merged
+    counters/gauges/histograms are byte-identical whatever ``workers``
+    was).  Collector-backed series (health ledger, siege.report) stay
+    with their source run and are not merged.
+    """
+    from .sweep import SweepTask, run_sweep
+
+    telemetry = telemetry or MetricsRegistry()
+    reports = []
+    tasks = [
+        SweepTask(
+            label=f"siege@seed{seed}",
+            fn="repro.bench.siege:_siege_task",
+            kwargs={
+                "seed": seed,
+                "duration_us": duration_us,
+                "resume_us": resume_us,
+                "cut_fraction": cut_fraction,
+            },
+        )
+        for seed in seeds
+    ]
+
+    def on_result(index, task, result):
+        registry, report = result
+        telemetry.merge_from(registry)
+        reports.append(report)
+        verdict = "ok" if report.ok else "FAILED"
+        emit(f"  seed {report.seed}: cut@{report.cut_op} "
+             f"commits={report.commits} sheds={report.sheds_reported} "
+             f"resumed={report.resumed_commits} [{verdict}]")
+
+    run_sweep(tasks, workers=workers, on_result=on_result)
+    return reports, telemetry
+
+
 def main(argv=None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
         description="Combined-failure siege of the device front end: "
-                    "burst overload + die outage + power cut, one seed"
+                    "burst overload + die outage + power cut"
     )
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--seeds", type=int, nargs="+", default=None,
+                        help="run one independent siege per seed and "
+                             "merge their telemetry (overrides --seed)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for --seeds sweeps "
+                             "(1 = in-process; merged output is "
+                             "byte-identical either way)")
     parser.add_argument("--duration-us", type=float, default=140_000.0)
     parser.add_argument("--resume-us", type=float, default=40_000.0)
     parser.add_argument("--cut-fraction", type=float, default=0.72)
@@ -529,6 +594,26 @@ def main(argv=None) -> int:
                         help="write the telemetry snapshot to "
                              "$REPRO_METRICS_DIR")
     args = parser.parse_args(argv)
+
+    if args.seeds:
+        reports, master = run_siege_sweep(
+            args.seeds, duration_us=args.duration_us,
+            resume_us=args.resume_us, cut_fraction=args.cut_fraction,
+            workers=args.workers,
+        )
+        if args.export:
+            path = export_metrics(
+                "siege-sweep", master,
+                extra={"seeds": {str(r.seed): r.snapshot()
+                                 for r in reports}},
+            )
+            print(f"telemetry snapshot: {path}")
+        bad = [r.seed for r in reports if not r.ok]
+        if not bad:
+            print(f"siege sweep ok: {len(reports)} seeds survived")
+            return 0
+        print(f"SIEGE SWEEP FAILED at seeds {bad}")
+        return 1 if args.check else 0
 
     report = run_siege(seed=args.seed, duration_us=args.duration_us,
                        resume_us=args.resume_us,

@@ -72,22 +72,25 @@ class BTreeIndex:
 
     def lookup(self, txn: Transaction, key: int):
         """Generator: value for ``key`` or None."""
-        yield from self.db.cpu()
+        db = self.db
+        buffer = db.buffer
+        hint = self.hint
+        yield from db.cpu()
         yield from self.latch.acquire_read()
         try:
             node_id = self.root_page_id
             while True:
-                frame = yield from self.db.buffer.fetch(node_id, self.hint)
+                frame = yield from buffer.fetch(node_id, hint)
                 node = frame.page
+                keys = node.keys
                 if node.is_leaf:
-                    index = bisect_left(node.keys, key)
-                    found = (index < len(node.keys)
-                             and node.keys[index] == key)
+                    index = bisect_left(keys, key)
+                    found = index < len(keys) and keys[index] == key
                     value = node.values[index] if found else None
-                    self.db.buffer.unpin(node_id)
+                    buffer.unpin(node_id)
                     return value
-                child = node.children[bisect_right(node.keys, key)]
-                self.db.buffer.unpin(node_id)
+                child = node.children[bisect_right(keys, key)]
+                buffer.unpin(node_id)
                 node_id = child
         finally:
             self.latch.release_read()

@@ -119,10 +119,19 @@ class DbWriterPool:
             return []  # idle poll on a clean pool: skip the frame scan
         picked = []
         batch_size = self.batch_size
+        # Hoisted ownership test: under the global policy every page
+        # matches, so the per-frame _owns call (policy string compare +
+        # region lookup) is dropped from the scan entirely.
+        global_policy = self.policy == "global"
+        if not global_policy:
+            region_of_page = self.storage.region_of_page
+            num_writers = self.num_writers
         for page_id, frame in self.buffer_pool.frames.items():
             if frame.dirty:
-                if (frame.pin_count == 0 and frame.flush_event is None
-                        and self._owns(index, page_id)):
+                if frame.pin_count == 0 and frame.flush_event is None \
+                        and (global_policy
+                             or region_of_page(page_id) % num_writers
+                             == index):
                     picked.append(page_id)
                     if len(picked) >= batch_size:
                         break

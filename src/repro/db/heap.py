@@ -51,13 +51,15 @@ class HeapFile:
 
     def insert(self, txn: Transaction, record: bytes):
         """Generator: store a record; returns its RID."""
-        yield from self.db.cpu()
-        yield from self.db.buffer.throttle()
+        db = self.db
+        buffer = db.buffer
+        yield from db.cpu()
+        yield from buffer.throttle()
         record = bytes(record)
         while True:
             if self._with_space:
                 page_id = self._with_space[-1]
-                frame = yield from self.db.buffer.fetch(page_id, self.hint)
+                frame = yield from buffer.fetch(page_id, self.hint)
             else:
                 frame = yield from self._grow()
                 page_id = frame.page_id
@@ -65,19 +67,19 @@ class HeapFile:
             if slot is None:
                 if self._with_space and self._with_space[-1] == page_id:
                     self._with_space.pop()
-                self.db.buffer.unpin(page_id)
+                buffer.unpin(page_id)
                 continue
             rid = RID(page_id, slot)
-            lsn = self.db.wal.append("insert", txn.txn_id,
-                                     (self.name, page_id, slot, record))
+            lsn = db.wal.append("insert", txn.txn_id,
+                                (self.name, page_id, slot, record))
             frame.page.lsn = lsn
             txn.last_lsn = lsn
-            self.db.buffer.mark_dirty(page_id)
-            self.db.buffer.unpin(page_id)
+            buffer.mark_dirty(page_id)
+            buffer.unpin(page_id)
             self.record_count += 1
             txn.push_undo(lambda rid=rid: self._undo_insert(rid))
-            yield from self.db.txn_manager.lock(txn, (self.name, rid),
-                                                LockMode.EXCLUSIVE)
+            yield from db.txn_manager.lock(txn, (self.name, rid),
+                                           LockMode.EXCLUSIVE)
             return rid
 
     def read(self, txn: Transaction, rid: RID,
@@ -88,19 +90,22 @@ class HeapFile:
         explicitly permits for StockLevel/OrderStatus, and what keeps
         those scans out of the update transactions' lock graphs.
         """
-        yield from self.db.cpu()
+        db = self.db
+        buffer = db.buffer
+        yield from db.cpu()
         if acquire_lock:
-            yield from self.db.txn_manager.lock(txn, (self.name, rid), mode)
-        frame = yield from self.db.buffer.fetch(rid.page_id, self.hint)
+            yield from db.txn_manager.lock(txn, (self.name, rid), mode)
+        frame = yield from buffer.fetch(rid.page_id, self.hint)
         try:
-            if not isinstance(frame.page, SlottedPage):
+            page = frame.page
+            if not isinstance(page, SlottedPage):
                 raise KeyError(
                     f"{self.name}: page {rid.page_id} was released and "
                     f"recycled; record {rid} is gone"
                 )
-            record = frame.page.get(rid.slot)
+            record = page.get(rid.slot)
         finally:
-            self.db.buffer.unpin(rid.page_id)
+            buffer.unpin(rid.page_id)
         if record is None:
             raise KeyError(f"{self.name}: record {rid} is deleted")
         return record
@@ -109,34 +114,37 @@ class HeapFile:
         """Generator: replace a record in place (fixed-size records always
         fit; growth beyond the page's free space is unsupported by heaps —
         use delete+insert)."""
-        yield from self.db.cpu()
-        yield from self.db.buffer.throttle()
+        db = self.db
+        buffer = db.buffer
+        yield from db.cpu()
+        yield from buffer.throttle()
         record = bytes(record)
-        yield from self.db.txn_manager.lock(txn, (self.name, rid),
-                                            LockMode.EXCLUSIVE)
-        frame = yield from self.db.buffer.fetch(rid.page_id, self.hint)
+        yield from db.txn_manager.lock(txn, (self.name, rid),
+                                       LockMode.EXCLUSIVE)
+        frame = yield from buffer.fetch(rid.page_id, self.hint)
         try:
-            if not isinstance(frame.page, SlottedPage):
+            page = frame.page
+            if not isinstance(page, SlottedPage):
                 raise KeyError(
                     f"{self.name}: page {rid.page_id} was released and "
                     f"recycled; record {rid} is gone"
                 )
-            before = frame.page.get(rid.slot)
+            before = page.get(rid.slot)
             if before is None:
                 raise KeyError(f"{self.name}: record {rid} is deleted")
-            if not frame.page.update(rid.slot, record):
+            if not page.update(rid.slot, record):
                 raise ValueError(
                     f"{self.name}: record growth overflows page {rid.page_id}"
                 )
-            lsn = self.db.wal.append(
+            lsn = db.wal.append(
                 "update", txn.txn_id,
                 (self.name, rid.page_id, rid.slot, record, before),
             )
-            frame.page.lsn = lsn
+            page.lsn = lsn
             txn.last_lsn = lsn
-            self.db.buffer.mark_dirty(rid.page_id)
+            buffer.mark_dirty(rid.page_id)
         finally:
-            self.db.buffer.unpin(rid.page_id)
+            buffer.unpin(rid.page_id)
         txn.push_undo(
             lambda rid=rid, before=before: self._undo_update(rid, before)
         )

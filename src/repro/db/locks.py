@@ -61,7 +61,12 @@ class LockManager:
         if mode not in (LockMode.SHARED, LockMode.EXCLUSIVE):
             raise ValueError(f"bad lock mode {mode!r}")
         self.total_acquisitions += 1
-        record = self._locks.setdefault(key, _LockRecord())
+        # get-then-create instead of setdefault(key, _LockRecord()): the
+        # setdefault form constructs a throwaway record (deque + dict) on
+        # every acquire, and most acquires hit an existing key.
+        record = self._locks.get(key)
+        if record is None:
+            record = self._locks[key] = _LockRecord()
         held = record.holders.get(txn_id)
         if held is not None:
             if held == LockMode.EXCLUSIVE or mode == LockMode.SHARED:

@@ -65,6 +65,14 @@ class SlottedPage:
         # buffer pool's admission checks, so an O(records) recount here
         # dominated whole-rig profiles.
         self._payload_bytes = 0
+        # Cached serialised image + per-slot payload offsets.  The common
+        # page lifecycle is decode -> update a record in place -> flush;
+        # keeping the byte image valid across same-length updates turns
+        # to_bytes() into a header repack + one copy instead of a full
+        # directory/payload rebuild.  Structural mutators (insert, delete,
+        # ensure_slot, restore, length-changing update) drop the cache.
+        self._image: Optional[bytearray] = None
+        self._offsets: Optional[List[int]] = None
 
     # -- capacity accounting -------------------------------------------------
 
@@ -105,11 +113,13 @@ class SlottedPage:
                 if existing is None:
                     self._records[slot] = record
                     self._payload_bytes += len(record)
+                    self._image = None
                     return slot
         if not self.fits(record):
             return None
         self._records.append(record)
         self._payload_bytes += len(record)
+        self._image = None
         return len(self._records) - 1
 
     def get(self, slot: int) -> Optional[bytes]:
@@ -120,14 +130,24 @@ class SlottedPage:
     def update(self, slot: int, record: bytes) -> bool:
         """Replace the record at ``slot``; False when the page is too full."""
         self._check_slot(slot)
-        if self._records[slot] is None:
+        old = self._records[slot]
+        if old is None:
             raise KeyError(f"slot {slot} is deleted")
         record = bytes(record)
-        growth = len(record) - len(self._records[slot])
+        growth = len(record) - len(old)
         if growth > self.free_space():
             return False
         self._records[slot] = record
         self._payload_bytes += growth
+        image = self._image
+        if image is not None:
+            if growth == 0:
+                # Same-length overwrite: the directory and every other
+                # record keep their offsets — patch the payload in place.
+                offset = self._offsets[slot]
+                image[offset:offset + len(record)] = record
+            else:
+                self._image = None
         return True
 
     def delete(self, slot: int) -> None:
@@ -136,6 +156,7 @@ class SlottedPage:
             raise KeyError(f"slot {slot} already deleted")
         self._payload_bytes -= len(self._records[slot])
         self._records[slot] = None
+        self._image = None
 
     def ensure_slot(self, slot: int, record) -> None:
         """Force ``slot`` to hold ``record`` (None = tombstone), growing
@@ -151,6 +172,7 @@ class SlottedPage:
         self._records[slot] = new
         if new is not None:
             self._payload_bytes += len(new)
+        self._image = None
 
     def restore(self, slot: int, record: bytes) -> None:
         """Put a record back into its original (tombstoned) slot — undo of
@@ -163,6 +185,7 @@ class SlottedPage:
             raise ValueError("no room to restore record")
         self._records[slot] = record
         self._payload_bytes += len(record)
+        self._image = None
 
     def iter_records(self):
         """(slot, record) pairs of live records."""
@@ -177,9 +200,19 @@ class SlottedPage:
     # -- serialisation ------------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        out = bytearray(self.page_bytes)
-        _COMMON.pack_into(out, 0, PAGE_MAGIC, _TYPE_SLOTTED,
+        image = self._image
+        if image is None:
+            image = self._rebuild_image()
+        # The lsn mutates between flushes without going through a record
+        # mutator (the WAL stamps it as a plain attribute), so the common
+        # header is repacked on every serialisation.
+        _COMMON.pack_into(image, 0, PAGE_MAGIC, _TYPE_SLOTTED,
                           self.page_id, self.lsn)
+        return bytes(image)
+
+    def _rebuild_image(self) -> bytearray:
+        """Recompute the canonical byte image and the slot offset table."""
+        out = bytearray(self.page_bytes)
         _SLOTTED_SUB.pack_into(out, _COMMON.size, len(self._records), 0)
         directory = _COMMON.size + _SLOTTED_SUB.size
         payload_end = self.page_bytes
@@ -189,19 +222,24 @@ class SlottedPage:
         slot_pack = _SLOT.pack
         entries = []
         parts = []
+        offsets = []
         for record in self._records:
             if record is None:
                 entries.append(_TOMB_SLOT)
+                offsets.append(-1)
             else:
                 length = len(record)
                 payload_end -= length
                 parts.append(record)
                 entries.append(slot_pack(payload_end, length))
+                offsets.append(payload_end)
         if parts:
             parts.reverse()
             out[payload_end:] = b"".join(parts)
         out[directory:directory + _SLOT.size * len(entries)] = b"".join(entries)
-        return bytes(out)
+        self._image = out
+        self._offsets = offsets
+        return out
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "SlottedPage":
@@ -213,15 +251,24 @@ class SlottedPage:
         page.lsn = lsn
         directory = _COMMON.size + _SLOTTED_SUB.size
         records = page._records
+        offsets = []
         payload_bytes = 0
         for offset, length in _SLOT.iter_unpack(
                 raw[directory:directory + nslots * _SLOT.size]):
             if offset == _TOMBSTONE:
                 records.append(None)
+                offsets.append(-1)
             else:
                 records.append(bytes(raw[offset:offset + length]))
+                offsets.append(offset)
                 payload_bytes += length
         page._payload_bytes = payload_bytes
+        # Prime the image cache with the decoded bytes: every page in the
+        # stack was produced by to_bytes(), so the raw form *is* the
+        # canonical serialisation and a read-modify-write cycle that only
+        # touches record payloads never pays a rebuild.
+        page._image = bytearray(raw)
+        page._offsets = offsets
         return page
 
 
@@ -245,6 +292,13 @@ class BTreeNodePage:
         self.values: List[int] = []    # leaf payloads (e.g. packed RIDs)
         self.children: List[int] = []  # inner child page ids
         self.next_leaf = -1
+        # Reusable serialisation scratch (keys/values are mutated directly
+        # by the tree, so unlike SlottedPage there is no validity to track
+        # — only the allocation is saved).  _scratch_words remembers how
+        # far the previous serialisation wrote so a shrink re-zeroes the
+        # stale tail and the output stays canonical.
+        self._scratch: Optional[bytearray] = None
+        self._scratch_words = 0
 
     @property
     def capacity(self) -> int:
@@ -257,7 +311,9 @@ class BTreeNodePage:
         return len(self.keys) >= self.capacity
 
     def to_bytes(self) -> bytes:
-        out = bytearray(self.page_bytes)
+        out = self._scratch
+        if out is None:
+            out = self._scratch = bytearray(self.page_bytes)
         _COMMON.pack_into(out, 0, PAGE_MAGIC, _TYPE_BTREE,
                           self.page_id, self.lsn)
         self._SUB.pack_into(out, _COMMON.size, int(self.is_leaf),
@@ -265,8 +321,13 @@ class BTreeNodePage:
         cursor = _COMMON.size + self._SUB.size
         payload = self.values if self.is_leaf else self.children
         words = self.keys + payload
-        if words:
-            struct.pack_into(f"<{len(words)}q", out, cursor, *words)
+        nwords = len(words)
+        if nwords:
+            struct.pack_into(f"<{nwords}q", out, cursor, *words)
+        if nwords < self._scratch_words:
+            out[cursor + 8 * nwords:cursor + 8 * self._scratch_words] = \
+                bytes(8 * (self._scratch_words - nwords))
+        self._scratch_words = nwords
         return bytes(out)
 
     @classmethod

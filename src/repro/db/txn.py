@@ -70,20 +70,28 @@ class TransactionManager:
     def commit(self, txn: Transaction, ctx: Optional[OpContext] = None):
         """Generator: make the transaction durable and release its locks."""
         self._check_active(txn)
-        if ctx is None:
+        trace = self.trace
+        tracing = trace is not None and trace.enabled
+        # The default commit context only ever feeds the host.op trace
+        # event; with tracing off its allocation and cost bookkeeping are
+        # unobservable, so both are skipped.  A caller-provided ctx keeps
+        # its charges either way.
+        if ctx is None and tracing:
             ctx = OpContext("txn-commit", txn_id=txn.txn_id)
         start = self.sim.now
-        before = dict(ctx.costs)
+        before = dict(ctx.costs) if ctx is not None else None
         lsn = self.wal.append("commit", txn.txn_id)
         wal_start = self.sim.now
         yield from self.wal.flush_to(lsn)
-        ctx.charge("wal_us", self.sim.now - wal_start)
+        if ctx is not None:
+            ctx.charge("wal_us", self.sim.now - wal_start)
         txn.state = _COMMITTED
         for action in txn.on_commit:
             yield from action()
         self.locks.release_all(txn.txn_id)
         self.commits += 1
-        emit_host_op(self.trace, "commit", ctx, before, self.sim.now - start)
+        if tracing and ctx is not None:
+            emit_host_op(trace, "commit", ctx, before, self.sim.now - start)
 
     def abort(self, txn: Transaction):
         """Generator: undo every change, log the abort, release locks."""

@@ -13,20 +13,38 @@ is durability bookkeeping plus the flush cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, List, Optional
+import struct
+from typing import Any, List, NamedTuple, Optional
 
 from ..sim import Event, Simulator
 
 __all__ = ["WALRecord", "WALog"]
 
 
-@dataclass(frozen=True)
-class WALRecord:
+class WALRecord(NamedTuple):
+    """One log record.
+
+    A NamedTuple rather than a dataclass: the log buffers raw tuples on
+    the append fast path and materialises these views lazily via
+    ``_make`` only when someone actually reads :attr:`WALog.records`
+    (crash rigs at cut time, recovery replay) — appends in the hot loop
+    never pay NamedTuple construction.
+    """
+
     lsn: int
     txn_id: int
     kind: str          # 'update' | 'insert' | 'delete' | 'commit' | 'abort'
     payload: Any = None
+
+
+#: Fixed-width on-log header: lsn u64, txn_id u64, kind u8.  Payload
+#: bytes are host-RAM redo information and are not part of the modelled
+#: log footprint.
+_HDR = struct.Struct("<QQB")
+_KIND_CODES = {
+    "insert": 1, "update": 2, "delete": 3, "commit": 4, "abort": 5,
+    "index-insert": 6, "index-delete": 7,
+}
 
 
 class WALog:
@@ -48,11 +66,20 @@ class WALog:
         #: ``None`` (the default — a dedicated write-through log volume)
         #: adds no events and keeps legacy digests bit-identical.
         self.device_barrier = device_barrier
-        self.records: List[WALRecord] = []
+        # Raw (lsn, txn_id, kind, payload) tuples; materialised into
+        # WALRecord views on demand by the :attr:`records` property.
+        self._raw: List[tuple] = []
+        self._views: List[WALRecord] = []
         self._next_lsn = 1
         self.flushed_lsn = 0
         self.appended_lsn = 0
         self._flush_done: Optional[Event] = None
+        # Physical log footprint model: every flush batch-encodes the
+        # fixed-width headers of the records it carries (one pack_into
+        # per group commit) into a reusable scratch buffer.
+        self.bytes_flushed = 0
+        self._encoded_idx = 0      # first _raw index not yet encoded
+        self._enc_scratch = bytearray(0)
         # statistics
         self.total_appends = 0
         self.total_flushes = 0
@@ -65,8 +92,21 @@ class WALog:
         self.appended_lsn = lsn
         self.total_appends += 1
         if self.keep_records:
-            self.records.append(WALRecord(lsn, txn_id, kind, payload))
+            self._raw.append((lsn, txn_id, kind, payload))
         return lsn
+
+    @property
+    def records(self) -> List[WALRecord]:
+        """WALRecord views of everything appended (``keep_records`` only).
+
+        Materialised lazily: the hot append path buffers plain tuples and
+        this property converts only the tail added since the last read.
+        """
+        views = self._views
+        raw = self._raw
+        if len(views) != len(raw):
+            views.extend(map(WALRecord._make, raw[len(views):]))
+        return views
 
     def lsn_hint(self) -> int:
         """Most recently appended LSN (used to stamp pages whose covering
@@ -109,12 +149,48 @@ class WALog:
                 yield self.sim.timeout(self.flush_latency_us)
                 if self.device_barrier is not None:
                     yield from self.device_barrier()
-                self.flushed_lsn = max(self.flushed_lsn, target)
+                prev = self.flushed_lsn
+                if target > prev:
+                    self.flushed_lsn = target
+                    self._encode_batch(prev, target)
                 self.total_flushes += 1
             finally:
                 self._flush_done = None
                 done.succeed()
         return self.flushed_lsn
+
+    def _encode_batch(self, prev_lsn: int, target: int) -> None:
+        """Account (and, for kept logs, encode) one flush batch.
+
+        The group-commit discipline means record headers never need
+        per-append packing: everything the flush made durable is encoded
+        here with a single ``struct.pack_into`` into a reusable scratch
+        buffer.  Logs that do not keep records model the same footprint
+        arithmetically from the LSN window.
+        """
+        if not self.keep_records:
+            self.bytes_flushed += (target - prev_lsn) * _HDR.size
+            return
+        raw = self._raw
+        idx = self._encoded_idx
+        end = idx
+        nraw = len(raw)
+        while end < nraw and raw[end][0] <= target:
+            end += 1
+        count = end - idx
+        if count:
+            need = count * _HDR.size
+            if len(self._enc_scratch) < need:
+                self._enc_scratch = bytearray(need)
+            values: List[int] = []
+            extend = values.extend
+            codes = _KIND_CODES
+            for lsn, txn_id, kind, _payload in raw[idx:end]:
+                extend((lsn, txn_id, codes.get(kind, 0)))
+            struct.pack_into("<" + "QQB" * count, self._enc_scratch, 0,
+                             *values)
+            self._encoded_idx = end
+            self.bytes_flushed += count * _HDR.size
 
     def snapshot(self) -> dict:
         return {
@@ -123,4 +199,5 @@ class WALog:
             "total_appends": self.total_appends,
             "total_flushes": self.total_flushes,
             "total_group_commits": self.total_group_commits,
+            "bytes_flushed": self.bytes_flushed,
         }

@@ -413,6 +413,24 @@ class MetricsRegistry:
             for labelset, counter in family.items():
                 self.counter(name, **dict(labelset)).inc(counter.value)
 
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Sweep workers ship their registries back over a process pipe.
+
+        Collectors are bound methods of live rig objects and the clock
+        closes over a Simulator — neither survives (or should survive)
+        the trip, so both are dropped; everything mergeable (counters,
+        gauges, histograms, gauge-merge policies) crosses intact.
+        """
+        state = self.__dict__.copy()
+        state["_collectors"] = {}
+        state["_clock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
 
 #: Flash command types accounted per die by the flash layer.
 FLASH_OPS = ("read", "program", "erase", "copyback", "oob_read")
