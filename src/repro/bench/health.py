@@ -64,8 +64,18 @@ __all__ = [
     "run_saturation_rig",
     "build_report",
     "check_report",
+    "stream_stats_of",
     "main",
 ]
+
+
+def stream_stats_of(manager) -> dict:
+    """Sum every region space's write-stream counters (streams mode)."""
+    totals: dict = {}
+    for region in manager.regions.regions:
+        for key, value in region.space.stream_stats.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
 
 WORKLOADS = ("tpcb", "tpcc")
 
@@ -100,6 +110,7 @@ def run_db_rig(
     duration_us: float = 200_000.0,
     dies: int = 4,
     window_us: float = 10_000.0,
+    write_streams: bool = False,
 ) -> dict:
     """TPC kit on the NoFTL DES rig with a health monitor attached.
 
@@ -107,6 +118,12 @@ def run_db_rig(
     arrive under ``txn-commit`` contexts, page write-backs are stamped
     ``heap`` / ``btree`` by the buffer pool, and the monitor's clock is
     wired to the simulator so die-busy windows are live, not replayed.
+
+    ``write_streams`` (the ``--streams`` axis) turns on object-aware
+    placement: per-class allocation points in the FTL plus reference-heat
+    hot/cold hints from the buffer pool.  The full streams-vs-baseline
+    comparison lives in :mod:`repro.bench.streams`; here the flag just
+    lets the health report be taken under the streamed layout.
     """
     workload = _make_workload(workload_name)
     footprint = measure_workload_footprint(workload)
@@ -114,20 +131,23 @@ def run_db_rig(
                               headroom_pages=footprint // 2)
     rig = build_noftl_rig(
         geometry=geometry,
-        config=NoFTLConfig(num_regions=dies, op_ratio=0.12),
+        config=NoFTLConfig(num_regions=dies, op_ratio=0.12,
+                           write_streams=write_streams),
         seed=seed,
     )
     monitor = HealthMonitor(window_us=window_us, clock=lambda: rig.sim.now)
     monitor.attach_array(rig.array)
+    monitor.attach_manager(rig.manager)
     monitor.install(rig.telemetry)
     db = attach_database(rig, buffer_capacity=max(64, footprint // 4),
-                         foreground_flush=False)
+                         foreground_flush=False,
+                         heat_hints=write_streams)
     db.start_writers(4, policy="region")
     rig.sim.run_process(workload.load(db))
     stats = run_workload(rig.sim, db, _make_workload(workload_name),
                          duration_us=duration_us, num_terminals=8,
                          rng=random.Random(seed), preloaded=True)
-    return {
+    out = {
         "workload": workload_name,
         "arch": "noftl",
         "seed": seed,
@@ -136,6 +156,10 @@ def run_db_rig(
         "health": monitor.report(),
         "manager": rig.manager.health_snapshot(),
     }
+    if write_streams:
+        out["write_streams"] = True
+        out["streams"] = stream_stats_of(rig.manager)
+    return out
 
 
 # -- replay comparison (Figure-3 methodology) ---------------------------------
@@ -298,6 +322,7 @@ def build_report(
     quick: bool = False,
     determinism: bool = True,
     workloads: Sequence[str] = WORKLOADS,
+    write_streams: bool = False,
 ) -> dict:
     db_duration = 150_000.0 if quick else 300_000.0
     replay_duration = REPLAY_TRACE_DURATION_US
@@ -306,7 +331,8 @@ def build_report(
     replay = {}
     for name in workloads:
         closed_loop[name] = run_db_rig(name, seed=seed,
-                                       duration_us=db_duration)
+                                       duration_us=db_duration,
+                                       write_streams=write_streams)
         replay[name] = run_replay_compare(name, seed=seed,
                                           duration_us=replay_duration)
 
@@ -317,10 +343,13 @@ def build_report(
         "replay": replay,
         "saturation_rig": run_saturation_rig(seed=seed),
     }
+    if write_streams:
+        report["write_streams"] = True
 
     if determinism and workloads:
         first = workloads[0]
-        repeat = run_db_rig(first, seed=seed, duration_us=db_duration)
+        repeat = run_db_rig(first, seed=seed, duration_us=db_duration,
+                            write_streams=write_streams)
         baseline = json.dumps(closed_loop[first]["health"], sort_keys=True)
         echo = json.dumps(repeat["health"], sort_keys=True)
         report["determinism"] = {
@@ -470,6 +499,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "lifetime projection, saturation detection, "
                              "double-run byte-identity) and exit nonzero "
                              "on any failure")
+    parser.add_argument("--streams", action="store_true",
+                        help="run the closed-loop rigs with object-aware "
+                             "write streams (write_streams + buffer-pool "
+                             "heat hints) instead of the legacy hot/cold "
+                             "layout")
     parser.add_argument("--no-determinism", action="store_true",
                         help="skip the double-run byte-identity witness")
     parser.add_argument("--export", default=None, metavar="PATH",
@@ -482,6 +516,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         quick=args.quick,
         determinism=not args.no_determinism,
         workloads=workloads,
+        write_streams=args.streams,
     )
     export_metrics("BENCH_health", report)
     if args.export:

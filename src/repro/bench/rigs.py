@@ -361,6 +361,7 @@ def attach_database(
     wal_flush_latency_us: float = 120.0,
     foreground_flush: bool = True,
     dirty_throttle_fraction=None,
+    heat_hints: bool = False,
 ) -> Database:
     """Mount the mini-DBMS on a rig's storage adapter (through the
     device front end when the rig was built with one)."""
@@ -374,6 +375,7 @@ def attach_database(
         foreground_flush=foreground_flush,
         dirty_throttle_fraction=dirty_throttle_fraction,
         trace=getattr(rig, "trace", None),
+        heat_hints=heat_hints,
     )
     rig.db = db
     return db

@@ -31,6 +31,14 @@ class NoFTLConfig:
         Free blocks per plane below which GC kicks in.
     separate_streams
         Keep GC relocations in their own (cold) active blocks.
+    write_streams
+        Object-aware write placement: one named allocation point per
+        host data class (WAL / heap-hot / heap-cold / btree / map / temp
+        / recovery), resolved from the ``OpContext.data_class`` stamp
+        riding on each write, with class-segregated GC and mount-time
+        frontier re-derivation (DESIGN.md §14).  Off by default — the
+        legacy hot/cold path stays event-for-event identical.  Requires
+        ``separate_streams``.
     use_copyback
         Relocate within a plane via COPYBACK (no bus transfer) instead of
         read+program.
@@ -57,6 +65,7 @@ class NoFTLConfig:
     gc_policy: str = "greedy"
     gc_low_water: int = 2
     separate_streams: bool = True
+    write_streams: bool = False
     use_copyback: bool = True
     wear_level_delta: Optional[int] = 20
     wear_level_check_every: int = 64
@@ -75,3 +84,5 @@ class NoFTLConfig:
             raise ValueError("spare_watermark must be in (0, 1]")
         if self.read_retry_limit < 0 or self.outage_retry_limit < 0:
             raise ValueError("retry limits must be >= 0")
+        if self.write_streams and not self.separate_streams:
+            raise ValueError("write_streams requires separate_streams")

@@ -35,7 +35,8 @@ from ..flash.errors import ReadUnwrittenError, UncorrectableError
 from ..flash.geometry import Geometry
 from ..ftl.base import UNMAPPED, FTLStats, MappingState
 from ..ftl.pagespace import PageMappedSpace
-from ..telemetry import EventTrace, MetricsRegistry
+from ..ftl.streams import CODE_CLASSES, FOREGROUND_STREAMS, stream_for
+from ..telemetry import EventTrace, MetricsRegistry, OpContext, data_class_of
 from .badblock import BadBlockManager
 from .config import NoFTLConfig
 from .regions import RegionManager
@@ -60,9 +61,12 @@ class MountReport:
     max_seq: int = 0                # highest write sequence adopted
     max_lpn: int = -1               # highest mapped logical page
     mapped_lpns: frozenset = field(default_factory=frozenset)
+    #: Write-streams mode: per-stream write points re-derived from OOB
+    #: class evidence, as (pbn, stream, next_offset) triples.
+    stream_frontiers: tuple = ()
 
     def snapshot(self) -> dict:
-        return {
+        out = {
             "pages_scanned": self.pages_scanned,
             "mappings": self.mappings,
             "torn_pages": self.torn_pages,
@@ -72,6 +76,13 @@ class MountReport:
             "max_seq": self.max_seq,
             "max_lpn": self.max_lpn,
         }
+        # Only surfaced in write-streams mode: keeps legacy snapshot
+        # shapes (and the digests hashed over them) bit-identical.
+        if self.stream_frontiers:
+            out["stream_frontiers"] = [
+                list(entry) for entry in self.stream_frontiers
+            ]
+        return out
 
 
 class NoFTLStorageManager:
@@ -125,6 +136,7 @@ class NoFTLStorageManager:
                 gc_policy=self.config.gc_policy,
                 gc_low_water=self.config.gc_low_water,
                 separate_streams=self.config.separate_streams,
+                class_streams=self.config.write_streams,
                 use_copyback=self.config.use_copyback,
                 wear_level_delta=self.config.wear_level_delta,
                 wear_level_check_every=self.config.wear_level_check_every,
@@ -140,6 +152,10 @@ class NoFTLStorageManager:
             )
             space.on_grown_bad = self._on_grown_bad
             region.space = space
+        #: Optional plain callback invoked with every trimmed lpn.  The
+        #: health monitor wires the WA ledger's ``forget`` here — trims
+        #: never touch the flash, so the array hook cannot see them.
+        self.on_trim = None
 
     def _on_grown_bad(self, pbn: int) -> None:
         """Spaces report retired blocks here; the degraded gauge tracks
@@ -187,12 +203,19 @@ class NoFTLStorageManager:
         data = yield from self._space_of(lpn).read(lpn)
         return data
 
-    def write(self, lpn: int, data=None, hint: str = "hot"):
+    def write(self, lpn: int, data=None, hint: str = "hot",
+              ctx: Optional[OpContext] = None):
         """Generator: out-of-place write with an optional temperature hint.
 
         ``hint`` may be ``"hot"`` (default, OLTP pages) or ``"cold"``
         (bulk loads, archival data) — DBMS knowledge the paper's
         integration strategy (ii) feeds into placement.
+
+        With ``write_streams`` enabled, ``ctx`` carries more than blame:
+        its resolved :func:`~repro.telemetry.data_class_of` picks the
+        write's allocation stream (WAL / heap-hot / heap-cold / btree /
+        map / temp / recovery), with the temperature hint splitting heap
+        traffic and standing in entirely for unclassified writes.
         """
         self._check_lpn(lpn)
         if hint not in ("hot", "cold"):
@@ -202,7 +225,11 @@ class NoFTLStorageManager:
         # can evacuate the device instead of wedging it completely.
         self.bad_blocks.check_writable()
         self.stats.host_writes += 1
-        yield from self._space_of(lpn).write(lpn, data, stream=hint)
+        if self.config.write_streams:
+            stream = stream_for(data_class_of(ctx), hint)
+        else:
+            stream = hint
+        yield from self._space_of(lpn).write(lpn, data, stream=stream)
 
     def trim(self, lpn: int):
         """Generator (no flash I/O): the DBMS free-space manager reports a
@@ -212,6 +239,10 @@ class NoFTLStorageManager:
         self.stats.host_trims += 1
         if self.config.honor_trims:
             self._space_of(lpn).trim(lpn)
+        # Whether or not the mapping honors it, the host has declared the
+        # data dead — observers drop their lpn bindings either way.
+        if self.on_trim is not None:
+            self.on_trim(lpn)
         return
         yield  # pragma: no cover - generator form
 
@@ -268,6 +299,19 @@ class NoFTLStorageManager:
         mapped: List[int] = []
         programmed_blocks: set = set()
         torn_blocks: set = set()
+        streams_on = self.config.write_streams
+        if streams_on:
+            # Write-streams evidence, gathered in the same single pass:
+            # which offsets of each block are programmed (bitmask), the
+            # block's class uniformity (0 unseen, >0 a single class code,
+            # -1 mixed or untagged), its newest sequence number, and each
+            # page's class for the lpn_class rebuild below.
+            pages_per_block = self.geometry.pages_per_block
+            total_blocks = self.geometry.total_blocks
+            block_mask = _array("q", [0]) * total_blocks
+            block_cls = _array("l", [0]) * total_blocks
+            block_seq = _array("q", [0]) * total_blocks
+            cls_of_ppn = bytearray(self.geometry.total_pages)
         for ppn in range(self.geometry.total_pages):
             report.pages_scanned += 1
             try:
@@ -283,8 +327,28 @@ class NoFTLStorageManager:
                 programmed_blocks.add(pbn)
                 torn_blocks.add(pbn)
                 continue
-            programmed_blocks.add(self.geometry.block_of_ppn(ppn))
+            pbn = self.geometry.block_of_ppn(ppn)
+            programmed_blocks.add(pbn)
             oob = result.oob
+            if streams_on and isinstance(oob, dict):
+                code = oob.get("cls", 0)
+                if code not in CODE_CLASSES:
+                    code = 0
+                block_mask[pbn] |= 1 << (ppn - pbn * pages_per_block)
+                if code:
+                    cls_of_ppn[ppn] = code
+                    if block_cls[pbn] == 0:
+                        block_cls[pbn] = code
+                    elif block_cls[pbn] != code:
+                        block_cls[pbn] = -1
+                else:
+                    # An untagged page poisons the block for frontier
+                    # adoption: we cannot prove single-class occupancy.
+                    block_cls[pbn] = -1
+                seq_evidence = oob.get("seq", 0)
+                if isinstance(seq_evidence, int) and \
+                        seq_evidence > block_seq[pbn]:
+                    block_seq[pbn] = seq_evidence
             if not isinstance(oob, dict) or "lpn" not in oob:
                 continue
             lpn = oob["lpn"]
@@ -321,16 +385,62 @@ class NoFTLStorageManager:
         self.mapping.clock = max(
             (newest_seq[lpn] for lpn in mapped), default=0
         )
+        if streams_on and self.mapping.lpn_class is not None:
+            # The class of a logical page is the class stamped on its
+            # winning physical copy — stale copies lost the seq race and
+            # with it any say over future placement.
+            lpn_class = self.mapping.lpn_class
+            for index in range(len(lpn_class)):
+                lpn_class[index] = 0
+            for lpn in mapped:
+                lpn_class[lpn] = cls_of_ppn[newest_ppn[lpn]]
         for pbn in sorted(torn_blocks):
             if not self.bad_blocks.is_bad(pbn):
                 self.bad_blocks.report_grown(pbn)
                 self.stats.grown_bad_blocks += 1
         self._tm_degraded.set(1 if self.bad_blocks.degraded else 0)
         all_bad = self.bad_blocks.all_bad
+        frontiers = None
+        if streams_on:
+            # Re-derive per-stream write points.  A block is adoptable as
+            # a frontier iff it is intact (not torn/bad), holds a single
+            # class, and its programmed pages form a contiguous prefix
+            # from offset 0 that has not filled the block — exactly the
+            # shape an interrupted append-point leaves behind.  Per
+            # (plane, stream) the newest such block wins (ties toward the
+            # lowest pbn, mirroring the mapping tie-break).
+            best: dict = {}
+            for pbn in programmed_blocks:
+                if pbn in torn_blocks or pbn in all_bad:
+                    continue
+                code = block_cls[pbn]
+                if code <= 0:
+                    continue
+                mask = block_mask[pbn]
+                count = bin(mask).count("1")
+                if count >= pages_per_block or mask != (1 << count) - 1:
+                    continue
+                key = (
+                    self.geometry.die_of_block(pbn),
+                    self.geometry.plane_of_block(pbn),
+                    FOREGROUND_STREAMS[code],
+                )
+                rank = (block_seq[pbn], -pbn)
+                incumbent = best.get(key)
+                if incumbent is None or rank > incumbent[0]:
+                    best[key] = (rank, pbn, count)
+            frontiers = {
+                pbn: (key[2], count)
+                for key, (__, pbn, count) in best.items()
+            }
+            report.stream_frontiers = tuple(sorted(
+                (pbn, stream, offset)
+                for pbn, (stream, offset) in frontiers.items()
+            ))
         for region in self.regions.regions:
             region.space.rebuild_allocation(
                 programmed_blocks, bad_blocks=all_bad,
-                quarantined=torn_blocks,
+                quarantined=torn_blocks, frontiers=frontiers,
             )
         report.mappings = len(mapped)
         report.programmed_blocks = len(programmed_blocks)

@@ -127,7 +127,7 @@ class NoFTLStorage:
         try:
             yield self.sim.timeout(self.interface_overhead_us)
             yield from self.executor.run(
-                self.manager.write(lpn, data, hint), ctx=ctx
+                self.manager.write(lpn, data, hint, ctx=ctx), ctx=ctx
             )
         finally:
             lock.release()
@@ -201,7 +201,8 @@ class SyncNoFTLStorage:
 
     def write(self, lpn: int, data=None, hint: str = "hot",
               ctx: Optional[OpContext] = None) -> None:
-        self.executor.run(self.manager.write(lpn, data, hint), ctx=ctx)
+        self.executor.run(self.manager.write(lpn, data, hint, ctx=ctx),
+                          ctx=ctx)
 
     def trim(self, lpn: int, ctx: Optional[OpContext] = None) -> None:
         self.executor.run(self.manager.trim(lpn), ctx=ctx)

@@ -17,8 +17,9 @@ from .storage import (
     RAMStorageAdapter,
     StorageAdapter,
 )
+from .temp import TempArea
 from .txn import Transaction, TransactionManager
-from .wal import WALog, WALRecord
+from .wal import FlashLogVolume, WALog, WALRecord
 
 __all__ = [
     "BTreeIndex",
@@ -47,8 +48,10 @@ __all__ = [
     "NoFTLStorageAdapter",
     "RAMStorageAdapter",
     "StorageAdapter",
+    "TempArea",
     "Transaction",
     "TransactionManager",
+    "FlashLogVolume",
     "WALog",
     "WALRecord",
 ]

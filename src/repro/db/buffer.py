@@ -33,7 +33,7 @@ class Frame:
     """One resident page."""
 
     __slots__ = ("page_id", "page", "pin_count", "dirty", "dirty_seq",
-                 "hint", "flush_event", "evicting")
+                 "hint", "heat", "flush_event", "evicting")
 
     def __init__(self, page_id: int, page, hint: str = "hot"):
         self.page_id = page_id
@@ -42,6 +42,7 @@ class Frame:
         self.dirty = False
         self.dirty_seq = 0
         self.hint = hint
+        self.heat = 0
         self.flush_event: Optional[Event] = None
         self.evicting = False
 
@@ -60,9 +61,13 @@ class BufferPool:
         dirty_throttle_fraction: Optional[float] = None,
         telemetry: Optional[MetricsRegistry] = None,
         trace: Optional[EventTrace] = None,
+        heat_hints: bool = False,
+        heat_threshold: int = 4,
     ):
         if capacity < 4:
             raise ValueError("buffer pool needs at least 4 frames")
+        if heat_threshold < 1:
+            raise ValueError("heat_threshold must be >= 1")
         self.sim = sim
         self.storage = storage
         self.wal = wal
@@ -83,6 +88,15 @@ class BufferPool:
                 and not 0.05 <= dirty_throttle_fraction <= 1.0:
             raise ValueError("dirty_throttle_fraction must be in [0.05, 1]")
         self.dirty_throttle_fraction = dirty_throttle_fraction
+        #: Opt-in reference-heat temperature: frames accumulate heat on
+        #: hits and mutations, and every write-back re-derives its hot /
+        #: cold hint from the accumulated heat (halved afterwards, an
+        #: exponential decay).  This is what splits the heap class into
+        #: ``heap-hot`` / ``heap-cold`` streams under write-streams mode.
+        #: Off by default: the static per-frame hint keeps every legacy
+        #: rig's storage traffic byte-identical.
+        self.heat_hints = heat_hints
+        self.heat_threshold = heat_threshold
         self.throttle_waits = 0
         self.frames: "OrderedDict[int, Frame]" = OrderedDict()
         # Resident dirty frames, maintained at each dirty/clean transition
@@ -145,6 +159,8 @@ class BufferPool:
             self.frames.move_to_end(page_id)
             self.hits += 1
             self._tm_hits.value += 1
+            if self.heat_hints:
+                frame.heat += 1
             grant = self._hit_grant
             grant.value = frame
             return grant
@@ -160,6 +176,8 @@ class BufferPool:
                 self.frames.move_to_end(page_id)
                 self.hits += 1
                 self._tm_hits.inc()
+                if self.heat_hints:
+                    frame.heat += 1
                 return frame
             loading = self._loading.get(page_id)
             if loading is not None:
@@ -236,6 +254,8 @@ class BufferPool:
         was_clean = not frame.dirty
         frame.dirty = True
         frame.dirty_seq += 1
+        if self.heat_hints:
+            frame.heat += 1
         if was_clean:
             self._dirty_total += 1
             if self._dirty_listener is not None:
@@ -324,7 +344,14 @@ class BufferPool:
             ctx.data_class = (
                 "btree" if isinstance(frame.page, BTreeNodePage) else "heap"
             )
-            yield from self.storage.write(frame.page_id, raw, frame.hint,
+            hint = frame.hint
+            if self.heat_hints:
+                # Temperature from reference heat, decayed per write-back
+                # so a page that cools down migrates to the cold stream
+                # within a couple of flush cycles.
+                hint = "hot" if frame.heat >= self.heat_threshold else "cold"
+                frame.heat >>= 1
+            yield from self.storage.write(frame.page_id, raw, hint,
                                           ctx=ctx)
             if frame.dirty_seq == seq:
                 frame.dirty = False

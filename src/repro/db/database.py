@@ -46,6 +46,7 @@ class Database:
         wal_keep_records: bool = False,
         telemetry: Optional[MetricsRegistry] = None,
         trace: Optional[EventTrace] = None,
+        heat_hints: bool = False,
     ):
         if cpu_us_per_op < 0:
             raise ValueError("cpu_us_per_op must be >= 0")
@@ -74,6 +75,7 @@ class Database:
             dirty_throttle_fraction=dirty_throttle_fraction,
             telemetry=self.telemetry,
             trace=self.trace,
+            heat_hints=heat_hints,
         )
         self.locks = LockManager(sim, timeout_us=lock_timeout_us)
         self.txn_manager = TransactionManager(sim, self.wal, self.locks,

@@ -17,8 +17,9 @@ import struct
 from typing import Any, List, NamedTuple, Optional
 
 from ..sim import Event, Simulator
+from ..telemetry import OpContext
 
-__all__ = ["WALRecord", "WALog"]
+__all__ = ["FlashLogVolume", "WALRecord", "WALog"]
 
 
 class WALRecord(NamedTuple):
@@ -51,12 +52,21 @@ class WALog:
     """Append-only log buffer with group-commit flushing."""
 
     def __init__(self, sim: Simulator, flush_latency_us: float = 150.0,
-                 keep_records: bool = False, device_barrier=None):
+                 keep_records: bool = False, device_barrier=None,
+                 segment_writer=None):
         if flush_latency_us < 0:
             raise ValueError("flush_latency_us must be >= 0")
         self.sim = sim
         self.flush_latency_us = flush_latency_us
         self.keep_records = keep_records
+        #: Optional generator factory ``(nbytes) -> events`` run inside
+        #: the exclusive flush with the batch's on-log byte count: the
+        #: log segment write itself, when the log lives on the flash
+        #: array instead of a latency-modelled side device (see
+        #: :class:`FlashLogVolume`).  Runs before ``device_barrier`` and
+        #: before the flushed LSN is published, so group committers only
+        #: ever observe LSNs whose segment programs completed.
+        self.segment_writer = segment_writer
         #: Optional zero-arg generator factory run *inside* the exclusive
         #: flush, after the log write and before ``flushed_lsn`` advances.
         #: This is the barrier-placement rule for a log that lives behind
@@ -147,9 +157,12 @@ class WALog:
             target = self.appended_lsn  # everything buffered rides along
             try:
                 yield self.sim.timeout(self.flush_latency_us)
+                prev = self.flushed_lsn
+                if self.segment_writer is not None and target > prev:
+                    yield from self.segment_writer(
+                        (target - prev) * _HDR.size)
                 if self.device_barrier is not None:
                     yield from self.device_barrier()
-                prev = self.flushed_lsn
                 if target > prev:
                     self.flushed_lsn = target
                     self._encode_batch(prev, target)
@@ -200,4 +213,59 @@ class WALog:
             "total_flushes": self.total_flushes,
             "total_group_commits": self.total_group_commits,
             "bytes_flushed": self.bytes_flushed,
+        }
+
+
+class FlashLogVolume:
+    """Circular WAL segment window on the flash array itself.
+
+    The latency-model default treats the log as a dedicated side device;
+    this volume instead puts real WAL traffic on the array so write
+    streams have an actual ``wal`` producer to segregate.  It owns a
+    window of ``window_pages`` logical pages (callers place it at the
+    *top* of the logical space, clear of the db page allocator growing
+    from 0) and appends segments round-robin: each flush programs
+    ``ceil(nbytes / page_bytes)`` pages — torn-write discipline, a
+    partial tail page is padded and the next flush starts fresh — and
+    wrapping simply overwrites the oldest slot, which self-invalidates
+    the superseded segment in the FTL (checkpointing is out of scope;
+    the window is sized so live recovery state always fits).
+
+    Wire it up with ``wal.segment_writer = volume.writer``.  Every
+    program carries an ``OpContext("txn-commit")`` chain, which
+    :func:`~repro.telemetry.context.data_class_of` resolves to ``wal``.
+    """
+
+    def __init__(self, storage, base_page: int, window_pages: int,
+                 page_bytes: int = 2048):
+        if window_pages < 1:
+            raise ValueError("window_pages must be >= 1")
+        if base_page < 0:
+            raise ValueError("base_page must be >= 0")
+        self.storage = storage
+        self.base_page = base_page
+        self.window_pages = window_pages
+        self.page_bytes = page_bytes
+        self._cursor = 0
+        self.pages_programmed = 0
+        self.wraps = 0
+
+    def writer(self, nbytes: int):
+        """Generator: program one flush batch (``WALog.segment_writer``)."""
+        pages = max(1, -(-nbytes // self.page_bytes))
+        for _ in range(pages):
+            lpn = self.base_page + self._cursor
+            self._cursor += 1
+            if self._cursor >= self.window_pages:
+                self._cursor = 0
+                self.wraps += 1
+            ctx = OpContext("txn-commit", data_class="wal")
+            yield from self.storage.write(lpn, None, "hot", ctx=ctx)
+            self.pages_programmed += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "pages_programmed": self.pages_programmed,
+            "wraps": self.wraps,
+            "window_pages": self.window_pages,
         }

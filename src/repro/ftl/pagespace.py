@@ -17,6 +17,7 @@ before rebinding relocated pages, so a read-mostly race cannot lose data.
 from __future__ import annotations
 
 import random
+from array import array as _array
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..flash.commands import (
@@ -45,6 +46,7 @@ from .base import (
     read_page_with_retry,
     relocate_page,
 )
+from .streams import class_code_of_stream, gc_stream_of_code
 
 __all__ = ["PageMappedSpace", "PlaneId"]
 
@@ -114,6 +116,14 @@ class PageMappedSpace:
         When True, GC relocations go to a dedicated "cold" active block
         per plane instead of mixing with host writes (hot/cold stream
         separation — ablation E10).
+    class_streams
+        When True (requires ``separate_streams``), the space accepts one
+        named allocation point per data-class stream
+        (:mod:`repro.ftl.streams`): host writes carry their class in OOB
+        and the per-lpn class table, and GC relocates every valid page
+        into *its own class's* GC frontier — never into a foreground
+        write point — so blocks stay single-class through relocation.
+        Off (the default) is bit-identical to the legacy hot/cold space.
     wear_level_delta
         Static wear-leveling trigger: when the erase-count spread inside a
         plane exceeds this, the coldest occupied block is refreshed.
@@ -141,6 +151,7 @@ class PageMappedSpace:
         gc_policy: str = "greedy",
         gc_low_water: int = 2,
         separate_streams: bool = True,
+        class_streams: bool = False,
         use_copyback: bool = True,
         wear_level_delta: Optional[int] = None,
         wear_level_check_every: int = 64,
@@ -166,6 +177,20 @@ class PageMappedSpace:
         self.gc_policy = gc_policy
         self.gc_low_water = gc_low_water
         self.separate_streams = separate_streams
+        if class_streams and not separate_streams:
+            raise ValueError("class_streams requires separate_streams")
+        self.class_streams = class_streams
+        if class_streams:
+            mapping.enable_class_tracking()
+        #: Plain stream-placement counters (never registered as metrics,
+        #: so legacy golden digests are untouched): victim blocks whose
+        #: valid pages spanned more than one tracked class, and per-stream
+        #: frontiers adopted back from a mount scan.
+        self.stream_stats: Dict[str, int] = {
+            "victims": 0,
+            "mixed_class_victims": 0,
+            "frontiers_adopted": 0,
+        }
         self.use_copyback = use_copyback
         self.wear_level_delta = wear_level_delta
         self.wear_level_check_every = wear_level_check_every
@@ -189,9 +214,11 @@ class PageMappedSpace:
         #: Optional plain callback invoked with the pbn of a block that wore
         #: out during erase (NoFTL wires this to its bad-block manager).
         self.on_grown_bad = None
-        # erase-count shadow (the host cannot see array internals; NoFTL
-        # tracks wear itself, which is exactly what the paper proposes)
-        self.erase_counts: Dict[int, int] = {}
+        # Erase-count shadow (the host cannot see array internals; NoFTL
+        # tracks wear itself, which is exactly what the paper proposes).
+        # Flat, like every other per-block table since the typed-array
+        # refactor; only this space's blocks ever increment.
+        self.erase_counts = _array("l", [0]) * geometry.total_blocks
         if read_retry_limit < 0 or outage_retry_limit < 0:
             raise ValueError("retry limits must be >= 0")
         self.read_retry_limit = read_retry_limit
@@ -287,6 +314,14 @@ class PageMappedSpace:
         # OOB carries the logical page number and a monotonically increasing
         # sequence number, so a cold scan can rebuild the mapping (recovery).
         oob = {"lpn": lpn, "seq": self.mapping.clock + 1}
+        if self.class_streams:
+            # The class rides in OOB (mount re-derives per-stream
+            # frontiers from it) and in the per-lpn table (GC routes
+            # relocations by it).
+            code = class_code_of_stream(stream)
+            if code:
+                oob["cls"] = code
+            self.mapping.lpn_class[lpn] = code
         ppn = yield from self._program_with_remap(plane_id, stream, ppn, data, oob)
         self.mapping.bind(lpn, ppn)
         return ppn
@@ -322,6 +357,19 @@ class PageMappedSpace:
                 )
                 ppn = self._allocate(plane_id, stream)
 
+    def _route_maintenance(self, lpn: int, fallback: str):
+        """(stream, oob) for relocating ``lpn`` during maintenance work
+        (evacuation, scrub).  With class streams the page goes to its own
+        class's GC frontier and keeps its class tag in OOB; otherwise it
+        takes ``fallback`` (the legacy behaviour)."""
+        oob = {"lpn": lpn, "seq": self.mapping.clock + 1}
+        if not self.class_streams:
+            return fallback, oob
+        code = self.mapping.lpn_class[lpn]
+        if code:
+            oob["cls"] = code
+        return gc_stream_of_code(code), oob
+
     def _quarantine_block(self, plane_id: PlaneId, pbn: int) -> None:
         """Retire a block in place after a failure (no flash I/O).
 
@@ -353,15 +401,16 @@ class PageMappedSpace:
             src = self.geometry.ppn_of(pbn, offset)
             if self.mapping.lookup(lpn) != src:
                 continue
+            dst_stream, oob = self._route_maintenance(lpn, stream)
             while True:
                 try:
-                    dst = self._allocate(plane_id, stream)
+                    dst = self._allocate(plane_id, dst_stream)
                 except RuntimeError:
                     return  # no free slots; leave remaining pages pinned
                 try:
                     moved = yield from relocate_page(
                         self.geometry, src, dst, self.stats,
-                        oob={"lpn": lpn, "seq": self.mapping.clock + 1},
+                        oob=oob,
                         counter=self._tm_relocations,
                         retries=self.read_retry_limit,
                         outage_retries=self.outage_retry_limit,
@@ -390,11 +439,13 @@ class PageMappedSpace:
         if pbn not in self.quarantined_blocks:
             self.suspect_blocks.add(pbn)
         plane_id = self.plane_of_lpn(lpn)
+        stream, oob = self._route_maintenance(
+            lpn, _COLD if self.separate_streams else _HOT
+        )
         try:
-            dst = self._allocate(plane_id, _COLD if self.separate_streams else _HOT)
+            dst = self._allocate(plane_id, stream)
         except RuntimeError:
             return  # no free slot right now; the suspect mark stands
-        oob = {"lpn": lpn, "seq": self.mapping.clock + 1}
         try:
             yield stamp_context(ProgramPage(ppn=dst, data=data, oob=oob), OpContext("scrub"))
         except PowerCutError:
@@ -415,7 +466,10 @@ class PageMappedSpace:
 
     def _allocate(self, plane_id: PlaneId, stream: str) -> int:
         plane = self._planes[plane_id]
-        active = plane.active[stream]
+        # Stream keys grow on demand: the legacy hot/cold points are
+        # pre-seeded, class streams appear the first time traffic of that
+        # class reaches this plane.
+        active = plane.active.get(stream)
         if active is None or active[1] >= self.geometry.pages_per_block:
             if active is not None:
                 plane.occupy(active[0])
@@ -530,17 +584,28 @@ class PageMappedSpace:
 
     def _collect_body(self, plane: _Plane, victim: int, moved: list):
         skipped = 0
+        class_streams = self.class_streams
+        lpn_class = self.mapping.lpn_class if class_streams else None
+        classes_seen = set()
+        self.stream_stats["victims"] += 1
         try:
             for offset, lpn in self.mapping.valid_lpns_of_block(victim):
                 src = self.geometry.ppn_of(victim, offset)
                 if self.mapping.lookup(lpn) != src:
                     continue  # overwritten since selection
+                if class_streams:
+                    # Segregation invariant: a relocated page lands in
+                    # its *own class's* GC frontier, never a foreground
+                    # write point — generational separation survives GC.
+                    code = lpn_class[lpn]
+                    if code:
+                        classes_seen.add(code)
+                    gc_stream = gc_stream_of_code(code)
+                else:
+                    gc_stream = _COLD if self.separate_streams else _HOT
                 dst_failures = 0
                 while True:
-                    dst = self._allocate(
-                        plane.plane_id,
-                        _COLD if self.separate_streams else _HOT,
-                    )
+                    dst = self._allocate(plane.plane_id, gc_stream)
                     # OOB travels with the page (copyback preserves it),
                     # keeping the recovery sequence number of the original
                     # write.
@@ -607,6 +672,10 @@ class PageMappedSpace:
                     self.on_grown_bad(victim)
             else:
                 yield from self._erase_into_pool(plane, victim)
+            if len(classes_seen) > 1:
+                # Heap/wal (or any cross-class) co-location: the thing
+                # write streams exist to eliminate in steady state.
+                self.stream_stats["mixed_class_victims"] += 1
         finally:
             plane.collecting.discard(victim)
 
@@ -634,7 +703,7 @@ class PageMappedSpace:
                 return
         self.suspect_blocks.discard(pbn)
         self.stats.gc_erases += 1
-        self.erase_counts[pbn] = self.erase_counts.get(pbn, 0) + 1
+        self.erase_counts[pbn] += 1
         plane.pool.give(pbn)
 
     # -- wear leveling -----------------------------------------------------------------
@@ -649,19 +718,21 @@ class PageMappedSpace:
         plane.erases_since_wl = 0
         if not plane.occupied or len(plane.pool) < self.gc_low_water:
             return
-        counts = [self.erase_counts.get(pbn, 0) for pbn in plane.occupied]
-        pool_counts = [self.erase_counts.get(pbn, 0) for pbn in plane.pool.peek_free()]
+        erase_counts = self.erase_counts
+        counts = [erase_counts[pbn] for pbn in plane.occupied]
+        pool_counts = [erase_counts[pbn] for pbn in plane.pool.peek_free()]
         spread = max(counts + pool_counts) - min(counts)
         if spread <= self.wear_level_delta:
             return
-        coldest = min(plane.occupied, key=lambda pbn: self.erase_counts.get(pbn, 0))
+        coldest = min(plane.occupied, key=erase_counts.__getitem__)
         self.stats.wl_moves += 1
         with self.trace.span("wl.migrate", histogram=self._tm_wl_us,
                              plane=plane.plane_id, block=coldest,
                              spread=spread) as span:
             yield from self._collect(plane, coldest, origin="wear-level", parent=span)
 
-    def rebuild_allocation(self, programmed_blocks, bad_blocks=None, quarantined=()) -> None:
+    def rebuild_allocation(self, programmed_blocks, bad_blocks=None,
+                           quarantined=(), frontiers=None) -> None:
         """Crash recovery: reset allocation state from a scan result.
 
         ``programmed_blocks`` is the set of flat block numbers observed to
@@ -669,7 +740,18 @@ class PageMappedSpace:
         *occupied* (GC reclaims them as their pages die); everything else
         returns to the free pools.  Active write points restart fresh —
         partially filled blocks simply retire early, as on real FTL
-        power-up scans.
+        power-up scans — **except** blocks named in ``frontiers``.
+
+        ``frontiers`` (write-streams mode) maps ``pbn -> (stream,
+        next_offset)`` for partially filled single-class blocks the mount
+        scan identified as resumable write points.  Each becomes the
+        plane's active block for that stream again instead of retiring
+        into ``occupied``: without this, the first post-mount writes of
+        *every* class would land in freshly taken blocks while the
+        half-full class blocks retire — and, worse, a space rebuilt
+        without stream knowledge would funnel all classes back through
+        one fresh frontier, silently undoing the class separation the
+        crash interrupted.
 
         ``bad_blocks``, when given, is the full authoritative bad set
         (factory + grown) rebuilt by the mount scan: those blocks enter
@@ -707,11 +789,21 @@ class PageMappedSpace:
             for pbn in blocks:
                 if watch[pbn] is plane.buckets:
                     watch[pbn] = None
+            adopted = {}
+            if frontiers:
+                for pbn in usable:
+                    entry = frontiers.get(pbn)
+                    if entry is not None and entry[0] not in adopted:
+                        adopted[entry[0]] = (pbn, entry[1])
+            adopted_blocks = {pbn for pbn, __ in adopted.values()}
             plane.pool = BlockPool(pbn for pbn in usable if pbn not in programmed)
             for pbn in usable:
-                if pbn in programmed:
+                if pbn in programmed and pbn not in adopted_blocks:
                     plane.occupy(pbn)
             plane.active = {key: None for key in plane.active}
+            for stream, (pbn, next_offset) in adopted.items():
+                plane.active[stream] = [pbn, next_offset]
+            self.stream_stats["frontiers_adopted"] += len(adopted)
             plane.collecting = set()
         self.suspect_blocks.clear()
         self.quarantined_blocks = {pbn for pbn in quarantined if pbn in my_blocks}
@@ -734,10 +826,11 @@ class PageMappedSpace:
         """Host-side erase-count shadow (what the wear-leveler steers by).
 
         The array's flat ``erase_counts`` are the device truth; this is
-        the host's view, grown lazily as this space erases blocks.  The
-        health report carries both so drift between them is visible.
+        the host's view over the same flat layout (entries stay zero for
+        blocks this space never erased).  The health report carries both
+        so drift between them is visible.
         """
-        counts = sorted(self.erase_counts.values())
+        counts = sorted(count for count in self.erase_counts if count)
         if not counts:
             return {"blocks_seen": 0, "min": 0, "max": 0, "mean": 0.0}
         return {

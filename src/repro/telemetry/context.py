@@ -68,8 +68,9 @@ MAINTENANCE_ORIGINS = frozenset(
 #: axis).  Host layers stamp them on the contexts they create (the
 #: buffer pool knows a heap page from a B-tree node; DFTL marks its own
 #: translation-page traffic ``map``); anything unstamped resolves via
-#: :func:`data_class_of`'s origin fallback.  ``temp`` is reserved for
-#: spill/sort traffic (no current producer) so reports always list it.
+#: :func:`data_class_of`'s origin fallback.  ``temp`` is spill/sort
+#: traffic, produced by :class:`~repro.db.temp.TempArea`; the WA
+#: ledger's report flags any declared class that never writes.
 DATA_CLASSES = ("wal", "heap", "btree", "map", "temp", "recovery", "unknown")
 
 #: Origin -> data-class fallback for contexts with no explicit stamp.

@@ -197,11 +197,24 @@ class WriteAmplificationLedger:
                 "wa": None if wa is None else round(wa, 4),
             }
         wa = self.write_amplification()
+        # Declared classes that never produced a logical write.  A class
+        # with no producer is a silent taxonomy hole (``temp`` was one
+        # for several releases): the stream split can't segregate traffic
+        # nobody stamps, so the report names the holes loudly instead of
+        # letting an all-zero row vanish from ``per_class``.  ``unknown``
+        # is the absence of a class, and ``map`` is device overhead with
+        # no host-side producer by construction — neither is a hole.
+        producerless = sorted(
+            cls for cls in DATA_CLASSES
+            if cls not in ("unknown", "map")
+            and self.logical_by_class.get(cls, 0) == 0
+        )
         return {
             "logical_writes": self.logical_writes,
             "physical_writes": self.physical_writes,
             "maintenance_writes": self.maintenance_writes,
             "write_amplification": None if wa is None else round(wa, 4),
+            "producerless_classes": producerless,
             "per_class": per_class,
             "per_cause": {
                 cause: self.physical_by_cause[cause]
@@ -526,8 +539,9 @@ class HealthMonitor:
 
     Attach with :meth:`attach_array` (flash-command feed via the array's
     ``health`` hook), :meth:`attach_frontend` (host-op feed via the
-    front end's ``load_monitor`` hook) and :meth:`install` (``health.*``
-    registry collectors).  ``clock`` (usually ``lambda: sim.now``)
+    front end's ``load_monitor`` hook), :meth:`attach_manager` (trim
+    feed for the ledger's class forgetting) and :meth:`install`
+    (``health.*`` registry collectors).  ``clock`` (usually ``lambda: sim.now``)
     timestamps the die-busy window feed; without one, command-level
     window series are skipped (trace-replay rigs are timeless here).
     """
@@ -553,6 +567,14 @@ class HealthMonitor:
 
     def attach_frontend(self, frontend) -> None:
         frontend.load_monitor = self.windows
+
+    def attach_manager(self, manager) -> None:
+        """Wire the storage manager's trim hook to the ledger.
+
+        Trims are RAM-only (no flash command), so the array hook never
+        sees them; without this the ledger would keep classifying a
+        recycled lpn by whoever wrote it *before* the trim."""
+        manager.on_trim = self.ledger.forget
 
     def install(self, registry) -> None:
         """Register ``health.*`` collectors so any snapshot/export of
